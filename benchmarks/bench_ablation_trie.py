@@ -1,0 +1,113 @@
+"""Ablation: the trie's design choices (DESIGN.md section 4).
+
+Three filtering variants over the same data/queries:
+
+* **trie + suffix** — the full Algorithm 2 with Lemma 5.1's suffix pruning;
+* **trie, no suffix** — level-by-level accumulation only;
+* **flat PAMD** — no trie: scan every trajectory and apply the pivot bound
+  directly (what a single-level index would do).
+
+The paper credits DITA's pruning power to the *accumulative, level-by-
+level* structure; this ablation quantifies each ingredient by candidate
+count and filter time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from common import (
+    TAUS,
+    dataset,
+    default_config,
+    print_header,
+    print_series,
+    queries_for,
+)
+from repro.core.adapters import DTWAdapter
+from repro.core.bounds import pamd
+from repro.core.pivots import pivot_indices
+from repro.core.trie import TrieIndex
+
+
+def flat_pamd_candidates(data, q, tau: float, k: int, strategy: str) -> int:
+    count = 0
+    for t in data:
+        idx = pivot_indices(t.points, k, strategy)
+        if pamd(t.points, q.points, idx) <= tau:
+            count += 1
+    return count
+
+
+def run():
+    data = dataset("beijing")
+    cfg = default_config()
+    trie = TrieIndex(list(data), cfg)
+    queries = queries_for(data, 10)
+    with_suffix = DTWAdapter(use_suffix_pruning=True)
+    without_suffix = DTWAdapter(use_suffix_pruning=False)
+    candidates: Dict[str, List[float]] = {"trie+suffix": [], "trie": [], "flat PAMD": []}
+    times: Dict[str, List[float]] = {"trie+suffix": [], "trie": [], "flat PAMD": []}
+    for tau in TAUS:
+        for label, fn in (
+            ("trie+suffix", lambda q, tau=tau: len(trie.filter_candidates(q.points, tau, with_suffix))),
+            ("trie", lambda q, tau=tau: len(trie.filter_candidates(q.points, tau, without_suffix))),
+            (
+                "flat PAMD",
+                lambda q, tau=tau: flat_pamd_candidates(
+                    data, q, tau, cfg.num_pivots, cfg.pivot_strategy
+                ),
+            ),
+        ):
+            start = time.perf_counter()
+            total = sum(fn(q) for q in queries)
+            elapsed = (time.perf_counter() - start) / len(queries) * 1000
+            candidates[label].append(total / len(queries))
+            times[label].append(elapsed)
+    return candidates, times
+
+
+def main() -> None:
+    print_header(
+        "Ablation: trie",
+        "Accumulative trie vs flat pivot bound; suffix pruning on/off",
+        "(not a paper figure; quantifies the Section 5.3.1/5.3.2 design)",
+    )
+    candidates, times = run()
+    print("\navg candidates per query")
+    print_series("tau", TAUS, candidates, unit="cands", fmt="{:>12.1f}")
+    print("\navg filter time per query")
+    print_series("tau", TAUS, times, unit="ms", fmt="{:>12.3f}")
+
+
+def test_trie_filter_benchmark(benchmark):
+    data = dataset("beijing")
+    trie = TrieIndex(list(data), default_config())
+    adapter = DTWAdapter()
+    queries = queries_for(data, 5)
+    benchmark(lambda: [trie.filter_candidates(q.points, 0.003, adapter) for q in queries])
+
+
+def test_ablation_trie_filter_faster_than_flat():
+    """The whole point of the trie: filter cost must beat the O(n) flat
+    pivot scan."""
+    data = dataset("beijing")
+    cfg = default_config()
+    trie = TrieIndex(list(data), cfg)
+    adapter = DTWAdapter()
+    queries = queries_for(data, 5)
+    tau = 0.003
+    start = time.perf_counter()
+    for q in queries:
+        trie.filter_candidates(q.points, tau, adapter)
+    trie_t = time.perf_counter() - start
+    start = time.perf_counter()
+    for q in queries:
+        flat_pamd_candidates(data, q, tau, cfg.num_pivots, cfg.pivot_strategy)
+    flat_t = time.perf_counter() - start
+    assert trie_t < flat_t
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Figure 10: join on Chengdu (DTW).
+
+Paper: Simba cannot complete within 24 h for tau > 0.002 on Chengdu; DITA
+completes the full sweep and scales nearly linearly (panels b-d show DITA
+only, as in the paper).
+"""
+
+from __future__ import annotations
+
+from common import (
+    TAUS,
+    dataset,
+    engine_for,
+    join_time_s,
+    print_header,
+    print_series,
+)
+from join_panels import (
+    DEFAULT_TAU,
+    SAMPLE_RATES,
+    WORKERS,
+    panel_scalability,
+    panel_scale_out,
+    panel_scale_up,
+    panel_vary_tau,
+)
+
+
+def main() -> None:
+    print_header(
+        "Figure 10",
+        "Trajectory similarity join on chengdu (DTW)",
+        "Simba incomplete beyond tau=0.002 in 24h; DITA finishes the sweep "
+        "and scales nearly linearly (panels b-d: DITA only, as in the paper)",
+    )
+    ds = "chengdu_join"
+    print("\n(a) varying tau  [chengdu]")
+    print_series("tau", TAUS, panel_vary_tau(ds), unit="s", fmt="{:>12.4f}")
+
+    data = dataset(ds)
+    dita_only = {"dita": []}
+    print("\n(b) scalability (DITA)  [chengdu]")
+    scal = panel_scalability(ds)
+    print_series("sample rate", SAMPLE_RATES, {"dita": scal["dita"]}, unit="s", fmt="{:>12.4f}")
+
+    print("\n(c) scale-up (DITA)  [chengdu]")
+    up = panel_scale_up(ds)
+    print_series("# workers", WORKERS, {"dita": up["dita"]}, unit="s", fmt="{:>12.4f}")
+
+    print("\n(d) scale-out (DITA)  [chengdu]")
+    out = panel_scale_out(ds)
+    labels = [f"{r},{w}w" for r, w in zip(SAMPLE_RATES, WORKERS)]
+    print_series("scale", labels, {"dita": out["dita"]}, unit="s", fmt="{:>12.4f}")
+
+
+def test_dita_join_chengdu(benchmark):
+    data = dataset("chengdu_join")
+    engine = engine_for("dita", data, "chengdu_join")
+    benchmark.pedantic(lambda: engine.join(engine, DEFAULT_TAU), rounds=3, iterations=1)
+
+
+def test_fig10_join_grows_with_tau():
+    data = dataset("chengdu_join")
+    engine = engine_for("dita", data, "chengdu_join")
+    small = join_time_s(engine, engine, 0.001)
+    large = join_time_s(engine, engine, 0.005)
+    # more answers -> at least comparable work (allow noise headroom)
+    assert large >= small * 0.5
+
+
+if __name__ == "__main__":
+    main()

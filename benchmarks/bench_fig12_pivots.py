@@ -1,0 +1,96 @@
+"""Figure 12: pivot selection strategies (a, b) and pivot size K (c, d).
+
+Paper: Neighbor wins, Inflection second, First/Last worst (join times on
+Beijing at tau=0.005: 252 s vs 269 s vs 287 s — a modest but consistent
+gap).  For K, the best value balances filter cost against pruning power:
+K=4 on Beijing (short trajectories), K=5 on Chengdu (longer ones).
+"""
+
+from __future__ import annotations
+
+from common import (
+    TAUS,
+    dataset,
+    engine_for,
+    join_time_s,
+    print_header,
+    print_series,
+)
+
+STRATEGIES = ("inflection", "neighbor", "first_last")
+KS = (2, 3, 4, 5, 6)
+TAU = 0.003
+
+
+def strategy_series(ds_name: str):
+    data = dataset(ds_name)
+    out = {}
+    for strat in STRATEGIES:
+        engine = engine_for("dita", data, ds_name, pivot_strategy=strat)
+        out[strat] = [join_time_s(engine, engine, tau) for tau in TAUS]
+    return out
+
+
+def pivot_size_series(ds_name: str):
+    data = dataset(ds_name)
+    out = {}
+    for k in KS:
+        engine = engine_for("dita", data, ds_name, num_pivots=k)
+        out[f"K={k}"] = [join_time_s(engine, engine, tau) for tau in TAUS]
+    return out
+
+
+def main() -> None:
+    print_header(
+        "Figure 12",
+        "Pivot selection strategy and pivot size (join, DTW)",
+        "Neighbor best, First/Last worst; K is a filter-cost vs pruning "
+        "trade-off (best K grows with trajectory length)",
+    )
+    print("\n(a) strategies on beijing")
+    print_series("tau", TAUS, strategy_series("beijing_join"), unit="s", fmt="{:>12.4f}")
+    print("\n(b) strategies on chengdu")
+    print_series("tau", TAUS, strategy_series("chengdu_join"), unit="s", fmt="{:>12.4f}")
+    print("\n(c) pivot size on beijing")
+    print_series("tau", TAUS, pivot_size_series("beijing_join"), unit="s", fmt="{:>12.4f}")
+    print("\n(d) pivot size on chengdu")
+    print_series("tau", TAUS, pivot_size_series("chengdu_join"), unit="s", fmt="{:>12.4f}")
+
+
+def test_pivot_strategy_candidates():
+    """Pruning-power view of panel (a): Neighbor should not generate more
+    candidates than First/Last on route-family data."""
+    from common import queries_for
+
+    data = dataset("beijing_join")
+    queries = queries_for(data, 10)
+    counts = {}
+    for strat in ("neighbor", "first_last"):
+        engine = engine_for("dita", data, "beijing_join", pivot_strategy=strat)
+        counts[strat] = sum(engine.count_candidates(q, TAU) for q in queries)
+    assert counts["neighbor"] <= counts["first_last"] * 1.2
+
+
+def test_strategies_all_correct():
+    data = dataset("beijing_join")
+    from common import queries_for
+
+    q = queries_for(data, 1)[0]
+    answers = {
+        strat: engine_for("dita", data, "beijing_join", pivot_strategy=strat).search_ids(q, TAU)
+        for strat in STRATEGIES
+    }
+    assert len({tuple(v) for v in answers.values()}) == 1
+
+
+def test_dita_search_k_sweep(benchmark):
+    from common import queries_for
+
+    data = dataset("beijing_join")
+    engine = engine_for("dita", data, "beijing_join", num_pivots=4)
+    queries = queries_for(data, 5)
+    benchmark(lambda: [engine.search(q, TAU) for q in queries])
+
+
+if __name__ == "__main__":
+    main()

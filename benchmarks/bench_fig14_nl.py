@@ -1,0 +1,67 @@
+"""Figure 14: varying the trie fanout NL.
+
+Paper: NL=32 best, NL=16 worst, NL=64 in between (Chengdu tau=0.005:
+1671 s / 2022 s / 1760 s) — small fanouts separate points poorly (loose
+node MBRs), huge fanouts spend more time probing children than they save.
+We sweep 4/8/16 at our scale.
+"""
+
+from __future__ import annotations
+
+from common import (
+    TAUS,
+    dataset,
+    engine_for,
+    join_time_s,
+    print_header,
+    print_series,
+)
+
+NLS = (4, 8, 16)
+
+
+def nl_series(ds_name: str):
+    data = dataset(ds_name)
+    out = {}
+    for nl in NLS:
+        engine = engine_for("dita", data, ds_name, trie_fanout=nl)
+        out[f"NL={nl}"] = [join_time_s(engine, engine, tau) for tau in TAUS]
+    return out
+
+
+def main() -> None:
+    print_header(
+        "Figure 14",
+        "Varying trie fanout NL (join, DTW)",
+        "U-shaped in NL: too-small fanouts give loose MBRs, too-large ones "
+        "cost more probing than they prune",
+    )
+    print("\n(a) beijing")
+    print_series("tau", TAUS, nl_series("beijing_join"), unit="s", fmt="{:>12.4f}")
+    print("\n(b) chengdu")
+    print_series("tau", TAUS, nl_series("chengdu_join"), unit="s", fmt="{:>12.4f}")
+
+
+def test_all_nl_correct():
+    from common import queries_for
+
+    data = dataset("beijing_join")
+    q = queries_for(data, 1)[0]
+    answers = {
+        nl: engine_for("dita", data, "beijing_join", trie_fanout=nl).search_ids(q, 0.003)
+        for nl in NLS
+    }
+    assert len({tuple(v) for v in answers.values()}) == 1
+
+
+def test_nl_search_benchmark(benchmark):
+    from common import queries_for
+
+    data = dataset("beijing_join")
+    engine = engine_for("dita", data, "beijing_join", trie_fanout=8)
+    queries = queries_for(data, 5)
+    benchmark(lambda: [engine.search(q, 0.003) for q in queries])
+
+
+if __name__ == "__main__":
+    main()

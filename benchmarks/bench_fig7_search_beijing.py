@@ -1,0 +1,39 @@
+"""Figure 7: search on Beijing (DTW) — vary tau, scalability, scale-up/out.
+
+Paper result (Fig 7): DITA answers in ~1-2 ms where Naive takes ~100 ms and
+DFT ~90 ms; Simba sits in between (~3-7 ms).  DITA is least sensitive to
+tau and scales nearly linearly.
+"""
+
+from __future__ import annotations
+
+from common import dataset, engine_for, queries_for, search_latency_ms
+from search_panels import DEFAULT_TAU, run_figure
+
+
+def main() -> None:
+    run_figure("Figure 7", "beijing")
+
+
+def test_dita_search_beijing(benchmark):
+    data = dataset("beijing")
+    engine = engine_for("dita", data, "beijing")
+    queries = queries_for(data, 5)
+    benchmark(lambda: [engine.search(q, DEFAULT_TAU) for q in queries])
+
+
+def test_fig7_ordering():
+    """The headline claim at default tau: DITA < Simba < min(Naive, DFT)."""
+    data = dataset("beijing")
+    queries = queries_for(data, 10)
+    lat = {
+        m: search_latency_ms(engine_for(m, data, "beijing"), queries, DEFAULT_TAU)
+        for m in ("naive", "simba", "dft", "dita")
+    }
+    assert lat["dita"] < lat["simba"]
+    assert lat["dita"] < lat["dft"]
+    assert lat["dita"] < lat["naive"]
+
+
+if __name__ == "__main__":
+    main()

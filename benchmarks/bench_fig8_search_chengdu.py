@@ -1,0 +1,37 @@
+"""Figure 8: search on Chengdu (DTW) — vary tau, scalability, scale-up/out.
+
+Paper result (Fig 8): same ordering as Beijing with larger absolute times
+(longer trajectories): e.g. at tau = 0.005 Naive 418 ms, DFT 289 ms, Simba
+24 ms, DITA 6 ms.
+"""
+
+from __future__ import annotations
+
+from common import dataset, engine_for, queries_for, search_latency_ms
+from search_panels import DEFAULT_TAU, run_figure
+
+
+def main() -> None:
+    run_figure("Figure 8", "chengdu")
+
+
+def test_dita_search_chengdu(benchmark):
+    data = dataset("chengdu")
+    engine = engine_for("dita", data, "chengdu")
+    queries = queries_for(data, 5)
+    benchmark(lambda: [engine.search(q, DEFAULT_TAU) for q in queries])
+
+
+def test_fig8_ordering():
+    data = dataset("chengdu")
+    queries = queries_for(data, 10)
+    lat = {
+        m: search_latency_ms(engine_for(m, data, "chengdu"), queries, DEFAULT_TAU)
+        for m in ("naive", "simba", "dft", "dita")
+    }
+    assert lat["dita"] < lat["naive"]
+    assert lat["dita"] < lat["dft"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Figure 9: join on Beijing (DTW), Simba vs DITA.
+
+Paper: DITA outperforms Simba by 1-2 orders of magnitude (tau = 0.005:
+31594 s vs 252 s), scales nearly linearly, and benefits most from added
+workers thanks to orientation + division balancing.
+"""
+
+from __future__ import annotations
+
+from common import dataset, engine_for, join_time_s
+from join_panels import DEFAULT_TAU, run_figure
+
+
+def main() -> None:
+    run_figure("Figure 9", "beijing_join")
+
+
+def test_dita_join_beijing(benchmark):
+    data = dataset("beijing_join")
+    engine = engine_for("dita", data, "beijing_join")
+
+    def run():
+        return engine.join(engine, DEFAULT_TAU)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_fig9_dita_beats_simba():
+    data = dataset("beijing_join")
+    dita = join_time_s(
+        engine_for("dita", data, "beijing_join"),
+        engine_for("dita", data, "beijing_join"),
+        DEFAULT_TAU,
+    )
+    simba_engine = engine_for("simba", data, "beijing_join")
+    simba_engine.cluster.reset_clocks()
+    simba_engine.join(simba_engine, DEFAULT_TAU)
+    simba = simba_engine.cluster.report().makespan
+    assert dita < simba
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Table 2: dataset statistics.
+
+Paper: Beijing 11.1M trajs / avg 22.2 / 7..112; Chengdu 15.3M / 37.4 /
+10..209; OSM 141M / 113.9 / 9..3000.  Our generators reproduce the length
+distributions and the citywide-vs-worldwide density contrast at ~1/10000
+scale; this bench prints the Table-2 row for each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import dataset, print_header
+from repro.datagen import beijing_like
+from repro.trajectory import dataset_stats, stats_header
+
+
+def main() -> None:
+    print_header(
+        "Table 2",
+        "Dataset statistics (scaled analogues)",
+        "Beijing avg 22.2 len 7..112; Chengdu avg 37.4 len 10..209; OSM long worldwide traces",
+    )
+    print(stats_header())
+    for name in ("beijing", "chengdu", "osm"):
+        print(dataset_stats(dataset(name)).row(name))
+
+
+def test_dataset_generation_benchmark(benchmark):
+    """pytest-benchmark target: generating a Beijing-scale dataset."""
+    result = benchmark(beijing_like, 200, 7)
+    assert len(result) == 200
+
+
+def test_table2_shapes():
+    b = dataset_stats(dataset("beijing"))
+    c = dataset_stats(dataset("chengdu"))
+    o = dataset_stats(dataset("osm"))
+    # the paper's ordering of average lengths: Beijing < Chengdu < OSM
+    assert b.avg_len < c.avg_len < o.avg_len
+    assert b.min_len >= 7 and c.min_len >= 10
+
+
+if __name__ == "__main__":
+    main()

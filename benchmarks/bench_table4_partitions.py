@@ -1,0 +1,77 @@
+"""Table 4: varying the number of global partitions (NG).
+
+Paper: both search and join first improve then degrade as NG grows —
+parallelism rises but per-partition overhead and cross-partition traffic
+rise too; the join optimum sits at a slightly larger NG than the search
+optimum.  (Paper sweeps NG in 32..256 over 11M+ trajectories; we sweep
+2..8 over the scaled data.)
+"""
+
+from __future__ import annotations
+
+from common import (
+    dataset,
+    default_config,
+    engine_for,
+    join_time_s,
+    print_header,
+    queries_for,
+    search_latency_ms,
+)
+
+NGS = (2, 4, 8, 12, 16)
+TAU = 0.003
+
+
+def run_sweep():
+    search_data = dataset("beijing")
+    join_data = dataset("beijing_join")
+    queries = queries_for(search_data, 10)
+    rows = []
+    for ng in NGS:
+        s_engine = engine_for("dita", search_data, "beijing", num_global_partitions=ng)
+        j_engine = engine_for("dita", join_data, "beijing_join", num_global_partitions=ng)
+        s = search_latency_ms(s_engine, queries, TAU)
+        j = join_time_s(j_engine, j_engine, TAU)
+        rows.append((ng, s, j))
+    return rows
+
+
+def main() -> None:
+    print_header(
+        "Table 4",
+        "Varying # of partitions NG (Beijing, DTW)",
+        "both metrics are U-shaped in NG; join optimum at larger NG than search",
+    )
+    print(f"{'NG':>4} {'search (ms)':>14} {'join (s)':>12}")
+    for ng, s, j in run_sweep():
+        print(f"{ng:>4} {s:>14.3f} {j:>12.4f}")
+
+
+def test_dita_build_varying_ng(benchmark):
+    data = dataset("beijing_join")
+    from repro import DITAEngine
+
+    benchmark.pedantic(
+        lambda: DITAEngine(data, default_config(num_global_partitions=4)),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_table4_all_ng_correct():
+    """Whatever NG, answers match (sanity: NG is a performance knob only)."""
+    data = dataset("beijing_join")
+    q = queries_for(data, 1)[0]
+    reference = None
+    for ng in (2, 8):
+        engine = engine_for("dita", data, "beijing_join", num_global_partitions=ng)
+        ids = engine.search_ids(q, TAU)
+        if reference is None:
+            reference = ids
+        else:
+            assert ids == reference
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Table 7 (Appendix C): centralized index build time and size.
+
+Paper (Chengdu(tiny)): DITA builds in 57 s / 219 MB; MBE needs 834 s /
+1257 MB; VP-Tree 3507 s / 3021 MB — the VP-tree's quadratic-ish distance
+computations during construction dominate.
+"""
+
+from __future__ import annotations
+
+from common import dataset, default_config, print_header
+from repro import DITAEngine
+from repro.baselines import MBEIndex, VPTree
+from repro.cluster import Cluster
+
+
+def run():
+    data = dataset("chengdu_join")
+    dita = DITAEngine(data, default_config(num_global_partitions=1), cluster=Cluster(1))
+    mbe = MBEIndex(data, "dtw")
+    vp = VPTree(data)
+    g, l = dita.index_size_bytes()
+    return [
+        ("DITA", dita.build_time_s, g + l),
+        ("MBE", mbe.build_time_s, mbe.index_size_bytes()),
+        ("VP-Tree", vp.build_time_s, vp.index_size_bytes()),
+    ]
+
+
+def main() -> None:
+    print_header(
+        "Table 7",
+        "Centralized index build time and size",
+        "DITA 57s/219MB vs MBE 834s/1257MB vs VP-Tree 3507s/3021MB — "
+        "VP-tree construction pays full trajectory distances",
+    )
+    print(f"{'method':<10}{'build time (s)':>16}{'index size (KB)':>18}")
+    for name, t, size in run():
+        print(f"{name:<10}{t:>16.3f}{size / 1024:>18.1f}")
+
+
+def test_table7_dita_builds_fastest():
+    rows = {name: t for name, t, _ in run()}
+    assert rows["DITA"] < rows["VP-Tree"]
+
+
+def test_vptree_build_benchmark(benchmark):
+    data = dataset("chengdu_join").sample(0.2, seed=6)
+    benchmark.pedantic(lambda: VPTree(data), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main()

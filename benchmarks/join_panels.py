@@ -1,0 +1,107 @@
+"""The four join panels shared by Figures 9 (Beijing) and 10 (Chengdu).
+
+The paper compares Simba and DITA only: Naive never finishes, DFT's
+per-query bitmaps would need terabytes (Section 7.2.2), and the MapReduce
+join [17] did not complete in 24 h.  We reproduce the Simba-vs-DITA sweeps
+and additionally *report* the DFT memory estimate that justifies its
+exclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from common import (
+    TAUS,
+    dataset,
+    engine_for,
+    geometric_speedup,
+    join_time_s,
+    print_header,
+    print_series,
+)
+from repro.baselines import DFTEngine
+
+METHODS = ("simba", "dita")
+SAMPLE_RATES = (0.25, 0.5, 0.75, 1.0)
+WORKERS = (4, 8, 12, 16)
+DEFAULT_TAU = 0.003
+
+
+def _join(method: str, data, data_key: str, tau: float, n_workers: int = 16) -> float:
+    engine = engine_for(method, data, data_key, n_workers=n_workers)
+    if method == "dita":
+        return join_time_s(engine, engine, tau)
+    # Simba joins through its own partition-to-partition path
+    engine.cluster.reset_clocks()
+    engine.join(engine, tau)
+    return engine.cluster.report().makespan + 1e-4
+
+
+def panel_vary_tau(ds_name: str) -> Dict[str, List[float]]:
+    data = dataset(ds_name)
+    return {m: [_join(m, data, ds_name, tau) for tau in TAUS] for m in METHODS}
+
+
+def panel_scalability(ds_name: str) -> Dict[str, List[float]]:
+    full = dataset(ds_name)
+    out: Dict[str, List[float]] = {m: [] for m in METHODS}
+    for rate in SAMPLE_RATES:
+        sample = full.sample(rate, seed=5)
+        for m in METHODS:
+            out[m].append(_join(m, sample, f"{ds_name}@{rate}", DEFAULT_TAU))
+    return out
+
+
+def panel_scale_up(ds_name: str) -> Dict[str, List[float]]:
+    data = dataset(ds_name)
+    out: Dict[str, List[float]] = {m: [] for m in METHODS}
+    for workers in WORKERS:
+        for m in METHODS:
+            out[m].append(_join(m, data, ds_name, DEFAULT_TAU, n_workers=workers))
+    return out
+
+
+def panel_scale_out(ds_name: str) -> Dict[str, List[float]]:
+    full = dataset(ds_name)
+    out: Dict[str, List[float]] = {m: [] for m in METHODS}
+    for rate, workers in zip(SAMPLE_RATES, WORKERS):
+        sample = full.sample(rate, seed=5)
+        for m in METHODS:
+            out[m].append(_join(m, sample, f"{ds_name}@{rate}", DEFAULT_TAU, n_workers=workers))
+    return out
+
+
+def run_figure(fig_id: str, ds_name: str) -> None:
+    print_header(
+        fig_id,
+        f"Trajectory similarity join on {ds_name} (DTW), Simba vs DITA",
+        "DITA wins by 1-2 orders of magnitude (e.g. Beijing tau=0.005: "
+        "Simba 31594 s vs DITA 252 s); gap widens with tau and data size",
+    )
+    data = dataset(ds_name)
+    dft = DFTEngine(data, n_partitions=16)
+    est = dft.estimated_join_bitmap_bytes(len(data))
+    print(
+        f"[excluded methods] Naive: quadratic shuffle, infeasible.  "
+        f"DFT: join would materialize ~{est / 1e6:.1f} MB of per-query bitmaps "
+        f"at this scale (TBs at the paper's) — Section 7.2.2."
+    )
+
+    print(f"\n(a) varying tau  [{ds_name}]")
+    series = panel_vary_tau(ds_name)
+    print_series("tau", TAUS, series, unit="s", fmt="{:>12.4f}")
+    print(
+        f"    speedup DITA vs Simba: "
+        f"{geometric_speedup(series['simba'], series['dita']):.1f}x (geo-mean)"
+    )
+
+    print(f"\n(b) scalability: varying sample rate  [{ds_name}]")
+    print_series("sample rate", SAMPLE_RATES, panel_scalability(ds_name), unit="s", fmt="{:>12.4f}")
+
+    print(f"\n(c) scale-up: varying workers  [{ds_name}]")
+    print_series("# workers", WORKERS, panel_scale_up(ds_name), unit="s", fmt="{:>12.4f}")
+
+    print(f"\n(d) scale-out: data and workers together  [{ds_name}]")
+    labels = [f"{r},{w}w" for r, w in zip(SAMPLE_RATES, WORKERS)]
+    print_series("scale", labels, panel_scale_out(ds_name), unit="s", fmt="{:>12.4f}")

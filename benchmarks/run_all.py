@@ -1,0 +1,70 @@
+"""Regenerate every paper table/figure in one run.
+
+Usage::
+
+    python benchmarks/run_all.py [--out RESULTS.txt]
+
+Imports each ``bench_*`` module in experiment order and calls its
+``main()``; total runtime is dominated by the join sweeps (~15-25 min on a
+laptop).  The output file is the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib
+import io
+import sys
+import time
+from pathlib import Path
+
+MODULES = [
+    "bench_table2_datasets",
+    "bench_fig7_search_beijing",
+    "bench_fig8_search_chengdu",
+    "bench_fig9_join_beijing",
+    "bench_fig10_join_chengdu",
+    "bench_fig11_osm",
+    "bench_table4_partitions",
+    "bench_fig12_pivots",
+    "bench_fig13_partitioning",
+    "bench_fig14_nl",
+    "bench_table5_indexing",
+    "bench_fig15_distances",
+    "bench_fig16_load_balancing",
+    "bench_fig17_centralized",
+    "bench_table7_centralized_index",
+    "bench_ablation_trie",
+    "bench_ablation_verify",
+    "bench_ext_knn",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default=None, help="also write results to this file")
+    parser.add_argument("--only", nargs="*", default=None, help="subset of module names")
+    args = parser.parse_args()
+    sys.path.insert(0, str(Path(__file__).parent))
+    modules = args.only or MODULES
+    chunks = []
+    for name in modules:
+        start = time.perf_counter()
+        mod = importlib.import_module(name)
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            mod.main()
+        text = buf.getvalue()
+        elapsed = time.perf_counter() - start
+        text += f"\n[{name} completed in {elapsed:.1f}s]\n"
+        print(text, end="")
+        chunks.append(text)
+    if args.out:
+        Path(args.out).write_text("".join(chunks))
+        print(f"\nresults written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

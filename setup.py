@@ -1,0 +1,13 @@
+"""Setup shim for environments without PEP 517 editable-install support."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="DITA: Distributed In-Memory Trajectory Analytics (SIGMOD 2018) reproduction",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro-dita = repro.cli:main"]},
+)

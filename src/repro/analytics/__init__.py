@@ -1,0 +1,21 @@
+"""Trajectory analytics built on DITA: clustering, frequent routes, outliers."""
+
+from .classification import KNNTrajectoryClassifier
+from .clustering import NOISE, ClusteringResult, TrajectoryDBSCAN, similarity_graph
+from .frequent import FrequentRoute, mine_frequent_routes, route_for
+from .outliers import OutlierReport, detect_outliers, knn_outlier_scores, top_outliers
+
+__all__ = [
+    "NOISE",
+    "ClusteringResult",
+    "FrequentRoute",
+    "KNNTrajectoryClassifier",
+    "OutlierReport",
+    "TrajectoryDBSCAN",
+    "detect_outliers",
+    "knn_outlier_scores",
+    "mine_frequent_routes",
+    "route_for",
+    "similarity_graph",
+    "top_outliers",
+]

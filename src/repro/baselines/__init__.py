@@ -1,0 +1,18 @@
+"""Baselines the paper compares against: Naive, Simba, DFT, VP-tree, MBE."""
+
+from .dft import DFTEngine, segment_trajectory
+from .mbe import MBEIndex, envelope, envelope_lower_bound
+from .naive import NaiveEngine
+from .simba import SimbaEngine
+from .vptree import VPTree
+
+__all__ = [
+    "DFTEngine",
+    "MBEIndex",
+    "NaiveEngine",
+    "SimbaEngine",
+    "VPTree",
+    "envelope",
+    "envelope_lower_bound",
+    "segment_trajectory",
+]

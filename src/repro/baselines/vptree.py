@@ -1,0 +1,121 @@
+"""Centralized VP-tree baseline [19, 40, 49] (Appendix C).
+
+A vantage-point tree over whole trajectories under a **metric** distance
+(Fréchet here; DTW violates the triangle inequality, which is exactly why
+the paper notes VP-trees cannot serve it).  Search prunes subtrees with the
+standard triangle-inequality ball test and counts every exact distance
+computation as a "candidate" — the Figure 17 pruning-power metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..distances.frechet import frechet
+from ..trajectory.trajectory import Trajectory
+
+Match = Tuple[Trajectory, float]
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass
+class _VPNode:
+    vantage: Trajectory
+    radius: float
+    inside: Optional["_VPNode"]
+    outside: Optional["_VPNode"]
+
+
+class VPTree:
+    """Vantage-point tree over trajectories with a metric distance."""
+
+    def __init__(
+        self,
+        dataset: Iterable[Trajectory],
+        distance: DistanceFn = frechet,
+        leaf_size: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.distance = distance
+        trajs = list(dataset)
+        if not trajs:
+            raise ValueError("cannot build a VP-tree over an empty dataset")
+        self._n = len(trajs)
+        rng = np.random.default_rng(seed)
+        build_start = time.perf_counter()
+        self._root = self._build(trajs, rng)
+        self.build_time_s = time.perf_counter() - build_start
+
+    def _build(self, trajs: List[Trajectory], rng: np.random.Generator) -> Optional[_VPNode]:
+        if not trajs:
+            return None
+        i = int(rng.integers(0, len(trajs)))
+        vantage = trajs[i]
+        rest = trajs[:i] + trajs[i + 1 :]
+        if not rest:
+            return _VPNode(vantage, 0.0, None, None)
+        dists = [self.distance(vantage.points, t.points) for t in rest]
+        radius = float(np.median(dists))
+        inside = [t for t, d in zip(rest, dists) if d <= radius]
+        outside = [t for t, d in zip(rest, dists) if d > radius]
+        return _VPNode(
+            vantage,
+            radius,
+            self._build(inside, rng),
+            self._build(outside, rng),
+        )
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------ #
+
+    def search(self, query: Trajectory, tau: float) -> Tuple[List[Match], int]:
+        """Threshold search; returns (matches, exact distance computations).
+
+        Triangle inequality: with ``d_v = d(vantage, Q)``, the inside ball
+        (radius ``r``) can hold matches only if ``d_v - tau <= r``, the
+        outside region only if ``d_v + tau > r``.
+        """
+        matches: List[Match] = []
+        computations = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            d_v = self.distance(node.vantage.points, query.points)
+            computations += 1
+            if d_v <= tau:
+                matches.append((node.vantage, d_v))
+            if d_v - tau <= node.radius:
+                stack.append(node.inside)
+            if d_v + tau > node.radius:
+                stack.append(node.outside)
+        return matches, computations
+
+    def search_ids(self, query: Trajectory, tau: float) -> List[int]:
+        matches, _ = self.search(query, tau)
+        return sorted(t.traj_id for t, _ in matches)
+
+    def count_candidates(self, query: Trajectory, tau: float) -> int:
+        _, computations = self.search(query, tau)
+        return computations
+
+    def node_count(self) -> int:
+        def count(n: Optional[_VPNode]) -> int:
+            if n is None:
+                return 0
+            return 1 + count(n.inside) + count(n.outside)
+
+        return count(self._root)
+
+    def index_size_bytes(self) -> int:
+        """Rough footprint: one node (vantage ref + radius + pointers) per
+        trajectory — VP-trees additionally memoize pairwise distances during
+        construction, which is what makes their build cost quadratic."""
+        return self.node_count() * 48

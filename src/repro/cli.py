@@ -1,0 +1,170 @@
+"""Command-line interface for the DITA reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli generate --kind beijing --n 1000 --out trips.jsonl
+    python -m repro.cli stats trips.jsonl
+    python -m repro.cli search trips.jsonl --query-id 7 --tau 0.003
+    python -m repro.cli join trips.jsonl --tau 0.002
+    python -m repro.cli knn trips.jsonl --query-id 7 --k 5
+    python -m repro.cli cluster trips.jsonl --tau 0.003 --min-pts 3
+
+Datasets are JSON-lines files (see :mod:`repro.trajectory.io`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.config import DITAConfig
+from .core.engine import DITAEngine
+from .core.knn import knn_search
+from .datagen import beijing_like, chengdu_like, citywide_dataset, osm_like, random_walk_dataset
+from .trajectory import TrajectoryDataset, dataset_stats, load_jsonl, save_jsonl, stats_header
+
+_GENERATORS = {
+    "beijing": beijing_like,
+    "chengdu": chengdu_like,
+    "osm": osm_like,
+    "citywide": citywide_dataset,
+    "random": random_walk_dataset,
+}
+
+
+def _engine(dataset: TrajectoryDataset, args: argparse.Namespace) -> DITAEngine:
+    config = DITAConfig(
+        num_global_partitions=args.partitions,
+        trie_fanout=args.fanout,
+        num_pivots=args.pivots,
+    )
+    return DITAEngine(dataset, config, distance=args.distance)
+
+
+def _add_engine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--distance", default="dtw", choices=["dtw", "frechet", "hausdorff", "edr", "lcss", "erp"])
+    p.add_argument("--partitions", type=int, default=4, help="NG, global partition groups")
+    p.add_argument("--fanout", type=int, default=8, help="NL, trie fanout")
+    p.add_argument("--pivots", type=int, default=4, help="K, pivots per trajectory")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    gen = _GENERATORS[args.kind]
+    dataset = gen(args.n, seed=args.seed)
+    save_jsonl(dataset, args.out)
+    print(f"wrote {len(dataset)} trajectories to {args.out}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    dataset = load_jsonl(args.dataset)
+    print(stats_header())
+    print(dataset_stats(dataset).row(args.dataset))
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    dataset = load_jsonl(args.dataset)
+    if args.query_id not in dataset:
+        print(f"error: no trajectory with id {args.query_id}", file=sys.stderr)
+        return 1
+    engine = _engine(dataset, args)
+    query = dataset.by_id(args.query_id)
+    matches = sorted(engine.search(query, args.tau), key=lambda m: m[1])
+    print(f"{len(matches)} trajectories within {args.distance} {args.tau} of #{args.query_id}")
+    for t, d in matches[: args.limit]:
+        print(f"  {t.traj_id:>8}  {d:.6f}")
+    return 0
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    dataset = load_jsonl(args.dataset)
+    engine = _engine(dataset, args)
+    pairs = engine.self_join(args.tau)
+    pairs.sort(key=lambda p: p[2])
+    print(f"{len(pairs)} similar pairs at {args.distance} <= {args.tau}")
+    for a, b, d in pairs[: args.limit]:
+        print(f"  ({a:>6}, {b:>6})  {d:.6f}")
+    return 0
+
+
+def cmd_knn(args: argparse.Namespace) -> int:
+    dataset = load_jsonl(args.dataset)
+    if args.query_id not in dataset:
+        print(f"error: no trajectory with id {args.query_id}", file=sys.stderr)
+        return 1
+    engine = _engine(dataset, args)
+    query = dataset.by_id(args.query_id)
+    for t, d in knn_search(engine, query, args.k):
+        print(f"  {t.traj_id:>8}  {d:.6f}")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from .analytics import TrajectoryDBSCAN
+
+    dataset = load_jsonl(args.dataset)
+    engine = _engine(dataset, args)
+    result = TrajectoryDBSCAN(eps=args.tau, min_pts=args.min_pts).fit(engine)
+    print(f"{result.n_clusters} clusters, {len(result.noise())} noise trajectories")
+    for i, members in enumerate(result.clusters()[: args.limit]):
+        print(f"  cluster {i}: {len(members)} members: {members[:10]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("--kind", choices=sorted(_GENERATORS), default="beijing")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("stats", help="print Table-2-style dataset statistics")
+    p.add_argument("dataset")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("search", help="threshold similarity search")
+    p.add_argument("dataset")
+    p.add_argument("--query-id", type=int, required=True)
+    p.add_argument("--tau", type=float, required=True)
+    p.add_argument("--limit", type=int, default=20)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_search)
+
+    p = sub.add_parser("join", help="threshold similarity self-join")
+    p.add_argument("dataset")
+    p.add_argument("--tau", type=float, required=True)
+    p.add_argument("--limit", type=int, default=20)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_join)
+
+    p = sub.add_parser("knn", help="k-nearest-neighbour search")
+    p.add_argument("dataset")
+    p.add_argument("--query-id", type=int, required=True)
+    p.add_argument("--k", type=int, default=5)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_knn)
+
+    p = sub.add_parser("cluster", help="DBSCAN route clustering")
+    p.add_argument("dataset")
+    p.add_argument("--tau", type=float, required=True)
+    p.add_argument("--min-pts", type=int, default=3)
+    p.add_argument("--limit", type=int, default=10)
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_cluster)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

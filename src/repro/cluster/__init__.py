@@ -1,0 +1,15 @@
+"""Simulated Spark-like cluster: workers, network model, partitioners."""
+
+from .metrics import ExecutionReport
+from .network import NetworkModel
+from .partitioner import DITAPartitioner, RandomPartitioner
+from .simulator import Cluster, Worker
+
+__all__ = [
+    "Cluster",
+    "DITAPartitioner",
+    "ExecutionReport",
+    "NetworkModel",
+    "RandomPartitioner",
+    "Worker",
+]

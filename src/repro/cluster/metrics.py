@@ -1,0 +1,46 @@
+"""Execution metrics collected by the cluster simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExecutionReport:
+    """Summary of one simulated distributed job.
+
+    ``makespan`` is the simulated wall-clock (max over workers of their
+    compute + network time); ``load_ratio`` is the paper's Figure 16 metric
+    (busiest worker time divided by the least busy worker's time).
+    """
+
+    worker_times: Dict[int, float] = field(default_factory=dict)
+    total_compute_s: float = 0.0
+    total_network_s: float = 0.0
+    total_network_bytes: int = 0
+    tasks: int = 0
+
+    @property
+    def makespan(self) -> float:
+        return max(self.worker_times.values()) if self.worker_times else 0.0
+
+    @property
+    def load_ratio(self) -> float:
+        """max / min busy-worker time; 1.0 means perfectly balanced."""
+        busy = [t for t in self.worker_times.values()]
+        if not busy:
+            return 1.0
+        lo = min(busy)
+        hi = max(busy)
+        if lo <= 0:
+            return float("inf") if hi > 0 else 1.0
+        return hi / lo
+
+    def merge(self, other: "ExecutionReport") -> None:
+        for wid, t in other.worker_times.items():
+            self.worker_times[wid] = self.worker_times.get(wid, 0.0) + t
+        self.total_compute_s += other.total_compute_s
+        self.total_network_s += other.total_network_s
+        self.total_network_bytes += other.total_network_bytes
+        self.tasks += other.tasks

@@ -1,0 +1,33 @@
+"""Network cost model for the simulated cluster.
+
+The paper's cluster connects nodes with Gigabit Ethernet; its cost model
+(Section 6.2) prices shipping ``nbytes`` of trajectories at
+``nbytes / bandwidth`` seconds.  We model exactly that, plus an optional
+per-message latency so many tiny transfers are not free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Bandwidth/latency model; defaults match 1 Gbps Ethernet."""
+
+    bandwidth_bytes_per_s: float = 125e6
+    latency_s: float = 0.0002
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` across one link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s

@@ -1,0 +1,47 @@
+"""Partitioning strategies for the cluster (Appendix B, Figure 13).
+
+``DITAPartitioner`` is the first/last-point STR scheme of Section 4.2.1;
+``RandomPartitioner`` is the strawman the paper compares against in
+Figure 13 (random assignment, so similar trajectories scatter and every
+partition is relevant to every query).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.global_index import partition_trajectories
+from ..trajectory.trajectory import Trajectory
+
+
+class DITAPartitioner:
+    """First-point then last-point STR partitioning (NG x NG partitions)."""
+
+    def __init__(self, n_groups: int) -> None:
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        self.n_groups = n_groups
+
+    def partition(self, trajectories: Sequence[Trajectory]) -> List[List[Trajectory]]:
+        return partition_trajectories(trajectories, self.n_groups)
+
+
+class RandomPartitioner:
+    """Uniform random assignment into ``n_partitions`` partitions."""
+
+    def __init__(self, n_partitions: int, seed: int = 0) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        self.n_partitions = n_partitions
+        self.seed = seed
+
+    def partition(self, trajectories: Sequence[Trajectory]) -> List[List[Trajectory]]:
+        trajs = list(trajectories)
+        rng = np.random.default_rng(self.seed)
+        assign = rng.integers(0, self.n_partitions, size=len(trajs))
+        parts: List[List[Trajectory]] = [[] for _ in range(self.n_partitions)]
+        for t, p in zip(trajs, assign.tolist()):
+            parts[p].append(t)
+        return [p for p in parts if p]

@@ -1,0 +1,180 @@
+"""A deterministic in-process cluster simulator (the Spark substitute).
+
+DITA's distributed behaviour — which partitions a query touches, which
+trajectories are shipped between partitions, how balanced the per-worker
+workloads are — is entirely algorithmic; Spark merely executes it.  This
+simulator executes the same plans in-process while accounting the costs a
+real cluster would pay:
+
+* every partition lives on one worker (round-robin placement by default);
+* ``run_local(partition_id, fn)`` executes ``fn`` *for real*, measures its
+  wall time and charges it to the owning worker's simulated clock;
+* ``ship(src, dst, nbytes)`` charges network transfer time to the sender
+  and receiver workers using the :class:`NetworkModel`;
+* the job's simulated makespan is the max worker clock — which is what
+  scale-up/scale-out curves measure.
+
+Workers expose ``cores``: charging divides task time by 1 (tasks are the
+unit of parallelism, as in Spark), but a worker with ``c`` cores runs up to
+``c`` of its queued tasks concurrently, which we model with a longest-
+processing-time greedy packing onto per-core clocks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .metrics import ExecutionReport
+from .network import NetworkModel
+
+
+@dataclass
+class Worker:
+    """One simulated executor with ``cores`` parallel slots."""
+
+    worker_id: int
+    cores: int = 1
+    #: accumulated per-core busy time within the current job
+    core_clocks: List[float] = field(default_factory=list)
+    network_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.core_clocks:
+            self.core_clocks = [0.0] * self.cores
+
+    def charge_compute(self, seconds: float) -> None:
+        """Greedy LPT packing: the task goes to the least busy core."""
+        i = min(range(self.cores), key=lambda k: self.core_clocks[k])
+        self.core_clocks[i] += seconds
+
+    def charge_network(self, seconds: float) -> None:
+        self.network_s += seconds
+
+    @property
+    def busy_time(self) -> float:
+        return max(self.core_clocks) + self.network_s
+
+    def reset(self) -> None:
+        self.core_clocks = [0.0] * self.cores
+        self.network_s = 0.0
+
+
+class Cluster:
+    """A simulated cluster: workers, partition placement, cost accounting."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        cores_per_worker: int = 1,
+        network: Optional[NetworkModel] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if cores_per_worker < 1:
+            raise ValueError("cores_per_worker must be >= 1")
+        self.workers = [Worker(i, cores_per_worker) for i in range(n_workers)]
+        self.network = network or NetworkModel()
+        self._placement: Dict[int, int] = {}
+        self._report = ExecutionReport()
+
+    # ------------------------------------------------------------------ #
+    # placement
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(w.cores for w in self.workers)
+
+    def place_partitions(self, partition_ids: List[int]) -> None:
+        """Round-robin placement, Spark's default for freshly built RDDs."""
+        for i, pid in enumerate(partition_ids):
+            self._placement[pid] = i % self.n_workers
+
+    def place_partition(self, partition_id: int, worker_id: int) -> None:
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"no worker {worker_id}")
+        self._placement[partition_id] = worker_id
+
+    def worker_of(self, partition_id: int) -> int:
+        try:
+            return self._placement[partition_id]
+        except KeyError:
+            raise KeyError(f"partition {partition_id} is not placed") from None
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run_local(self, partition_id: int, fn: Callable[[], Any]) -> Any:
+        """Execute ``fn`` on the partition's worker; real wall time is
+        charged to that worker's simulated clock."""
+        wid = self.worker_of(partition_id)
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        self.workers[wid].charge_compute(elapsed)
+        self._report.total_compute_s += elapsed
+        self._report.tasks += 1
+        return result
+
+    def charge_compute(self, partition_id: int, seconds: float) -> None:
+        """Charge pre-measured compute time to a partition's worker."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        wid = self.worker_of(partition_id)
+        self.workers[wid].charge_compute(seconds)
+        self._report.total_compute_s += seconds
+        self._report.tasks += 1
+
+    def charge_compute_worker(self, worker_id: int, seconds: float) -> None:
+        """Charge pre-measured compute time to a specific worker (used when
+        load balancing routes a task away from the partition's home)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"no worker {worker_id}")
+        self.workers[worker_id].charge_compute(seconds)
+        self._report.total_compute_s += seconds
+        self._report.tasks += 1
+
+    def ship(self, src_partition: int, dst_partition: int, nbytes: int) -> float:
+        """Account a data transfer between two partitions' workers.
+
+        Returns the simulated transfer time (0 when co-located)."""
+        src_w = self.worker_of(src_partition)
+        dst_w = self.worker_of(dst_partition)
+        if src_w == dst_w:
+            return 0.0
+        t = self.network.transfer_time(nbytes)
+        self.workers[src_w].charge_network(t)
+        self.workers[dst_w].charge_network(t)
+        self._report.total_network_s += t
+        self._report.total_network_bytes += nbytes
+        return t
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> ExecutionReport:
+        """Snapshot of the job metrics accumulated since the last reset."""
+        rep = ExecutionReport(
+            worker_times={w.worker_id: w.busy_time for w in self.workers},
+            total_compute_s=self._report.total_compute_s,
+            total_network_s=self._report.total_network_s,
+            total_network_bytes=self._report.total_network_bytes,
+            tasks=self._report.tasks,
+        )
+        return rep
+
+    def reset_clocks(self) -> None:
+        """Start a fresh job: zero every worker clock and the counters."""
+        for w in self.workers:
+            w.reset()
+        self._report = ExecutionReport()

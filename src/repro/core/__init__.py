@@ -1,0 +1,64 @@
+"""DITA core: pivots, bounds, trie index, global index, search and join."""
+
+from .adapters import (
+    DTWAdapter,
+    EDRAdapter,
+    ERPAdapter,
+    FilterState,
+    FrechetAdapter,
+    IndexAdapter,
+    LCSSAdapter,
+    get_adapter,
+)
+from .bounds import amd, mbr_accumulated_min_dist, opamd, pamd
+from .config import DITAConfig
+from .costmodel import BiEdge, OrientationPlan, divide_partitions, orient_edges, plan_join
+from .engine import DITAEngine
+from .global_index import GlobalIndex, PartitionInfo, partition_trajectories
+from .join import JoinExecutor, JoinPair, JoinStats
+from .knn import knn_join, knn_search
+from .pivots import available_strategies, indexing_points, pivot_indices
+from .search import LocalSearcher, SearchStats
+from .trie import FilterStats, TrieIndex, TrieNode
+from .verify import VerificationData, Verifier, VerifyStats
+
+__all__ = [
+    "BiEdge",
+    "DITAConfig",
+    "DITAEngine",
+    "DTWAdapter",
+    "EDRAdapter",
+    "ERPAdapter",
+    "FilterState",
+    "FilterStats",
+    "FrechetAdapter",
+    "GlobalIndex",
+    "IndexAdapter",
+    "JoinExecutor",
+    "JoinPair",
+    "JoinStats",
+    "LCSSAdapter",
+    "LocalSearcher",
+    "OrientationPlan",
+    "PartitionInfo",
+    "SearchStats",
+    "TrieIndex",
+    "TrieNode",
+    "VerificationData",
+    "Verifier",
+    "VerifyStats",
+    "amd",
+    "available_strategies",
+    "divide_partitions",
+    "get_adapter",
+    "indexing_points",
+    "knn_join",
+    "knn_search",
+    "mbr_accumulated_min_dist",
+    "opamd",
+    "orient_edges",
+    "pamd",
+    "partition_trajectories",
+    "pivot_indices",
+    "plan_join",
+]

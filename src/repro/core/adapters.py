@@ -1,0 +1,324 @@
+"""Distance-specific index adapters (Appendix A).
+
+One trie serves every similarity function; what changes per function is
+
+* how a trie level's ``MinDist`` consumes the threshold while descending
+  (DTW subtracts, Fréchet compares without subtracting, EDR/LCSS decrement
+  an edit budget, ERP subtracts the cheaper of match-or-gap), and
+* which verification filters are sound (MBR coverage and cells hold for
+  DTW/Fréchet; EDR/LCSS/ERP go straight to their banded exact DPs).
+
+An adapter bundles those choices together with the threshold-constrained
+exact computation, so the search/join framework is distance-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..distances.base import TrajectoryDistance, get_distance
+from ..distances.dtw import dtw_double_direction
+from ..distances.edr import edr_threshold
+from ..distances.erp import erp_threshold
+from ..distances.frechet import frechet_threshold
+from ..distances.hausdorff import hausdorff_threshold
+from ..distances.lcss import lcss_dissimilarity
+from ..geometry.mbr import MBR
+from .numerics import slack
+from .verify import Verifier, cell_bound_dtw, cell_bound_frechet
+
+_INF = math.inf
+
+#: trie level kinds
+FIRST, LAST, PIVOT = "first", "last", "pivot"
+
+
+@dataclass(frozen=True)
+class FilterState:
+    """Per-root-to-node filtering state carried down a trie path."""
+
+    #: remaining budget (distance for DTW/ERP, edits for EDR/LCSS, the full
+    #: threshold for Fréchet which never subtracts)
+    remaining: float
+    #: index into Q where the admissible suffix starts (Lemma 5.1)
+    q_start: int = 0
+    #: tau1 of Lemma 5.1 (set after the two align levels); None disables
+    #: suffix pruning
+    tau1: Optional[float] = None
+
+
+class IndexAdapter:
+    """Base adapter: threshold-subtracting additive accumulation (DTW)."""
+
+    #: registry key of the underlying distance
+    distance_name = "dtw"
+    #: whether trie descent subtracts level distances from the budget
+    subtracts = True
+
+    def __init__(self, use_suffix_pruning: bool = True) -> None:
+        self.use_suffix_pruning = use_suffix_pruning
+
+    # -------------------------------------------------------------- #
+    # trie descent
+    # -------------------------------------------------------------- #
+
+    def initial_state(self, q: np.ndarray, tau: float) -> FilterState:
+        # the budget gets a float-rounding slack so boundary answers with
+        # lower bound == tau are never dropped (see repro.core.numerics)
+        return FilterState(remaining=slack(tau))
+
+    def visit(
+        self, state: FilterState, kind: str, mbr: MBR, q: np.ndarray, node_max_len: Optional[int] = None
+    ) -> Optional[FilterState]:
+        """Descend one trie level; return the child state or ``None`` to prune."""
+        if kind == FIRST:
+            d = mbr.min_dist_point(q[0])
+        elif kind == LAST:
+            d = mbr.min_dist_point(q[-1])
+            if self.use_suffix_pruning:
+                # after both align levels, tau1 = remaining - d is the budget
+                # any single pivot alignment may consume (Lemma 5.1)
+                if d <= state.remaining:
+                    return replace(state, remaining=state.remaining - d, tau1=state.remaining - d)
+                return None
+        else:
+            suffix = q[state.q_start :]
+            if suffix.shape[0] == 0:
+                return None
+            if self.use_suffix_pruning and state.tau1 is not None:
+                dists = mbr.min_dist_points(suffix)
+                within = dists <= state.tau1
+                if not within.any():
+                    return None
+                drop = int(np.argmax(within))
+                d = float(dists[drop:].min())
+                if d > state.remaining:
+                    return None
+                return replace(
+                    state, remaining=state.remaining - d, q_start=state.q_start + drop
+                )
+            d = mbr.min_dist_trajectory(suffix)
+        if d > state.remaining:
+            return None
+        return replace(state, remaining=state.remaining - d)
+
+    # -------------------------------------------------------------- #
+    # verification
+    # -------------------------------------------------------------- #
+
+    def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        return dtw_double_direction(t, q, tau)
+
+    def make_verifier(self, use_mbr_coverage: bool = True, use_cell_filter: bool = True) -> Verifier:
+        return Verifier(
+            self.exact,
+            cell_bound_fn=cell_bound_dtw,
+            use_mbr_coverage=use_mbr_coverage,
+            use_cell_filter=use_cell_filter,
+        )
+
+    def distance(self) -> TrajectoryDistance:
+        """The underlying exact distance object (for brute-force checks)."""
+        return get_distance(self.distance_name)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DTWAdapter(IndexAdapter):
+    """Default adapter: additive accumulation with suffix pruning."""
+
+
+class FrechetAdapter(IndexAdapter):
+    """Fréchet (Appendix A): max-accumulation, so the threshold is *not*
+    consumed while descending — every level just checks ``MinDist <= tau``.
+    Suffix pruning stays sound with ``tau1 = tau`` because each matched pair
+    along a Fréchet alignment is within the Fréchet distance."""
+
+    distance_name = "frechet"
+    subtracts = False
+
+    def visit(self, state: FilterState, kind: str, mbr: MBR, q: np.ndarray, node_max_len: Optional[int] = None) -> Optional[FilterState]:
+        tau = state.remaining
+        if kind == FIRST:
+            return state if mbr.min_dist_point(q[0]) <= tau else None
+        if kind == LAST:
+            return state if mbr.min_dist_point(q[-1]) <= tau else None
+        suffix = q[state.q_start :]
+        if suffix.shape[0] == 0:
+            return None
+        dists = mbr.min_dist_points(suffix)
+        within = dists <= tau
+        if not within.any():
+            return None
+        if self.use_suffix_pruning:
+            drop = int(np.argmax(within))
+            return replace(state, q_start=state.q_start + drop)
+        return state
+
+    def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        return frechet_threshold(t, q, tau)
+
+    def make_verifier(self, use_mbr_coverage: bool = True, use_cell_filter: bool = True) -> Verifier:
+        return Verifier(
+            self.exact,
+            cell_bound_fn=cell_bound_frechet,
+            use_mbr_coverage=use_mbr_coverage,
+            use_cell_filter=use_cell_filter,
+        )
+
+
+class HausdorffAdapter(IndexAdapter):
+    """Hausdorff (the DFT baseline's metric): no ordering and no endpoint
+    alignment, so every trie level — align or pivot — applies the same
+    test: if ``H(T, Q) <= tau`` then every point of T (every indexing point
+    in particular) lies within ``tau`` of some point of Q.  MBR coverage
+    and the max-cell bound remain sound (they only use per-point
+    nearest-distance arguments)."""
+
+    distance_name = "hausdorff"
+    subtracts = False
+
+    def visit(self, state: FilterState, kind: str, mbr: MBR, q: np.ndarray, node_max_len: Optional[int] = None) -> Optional[FilterState]:
+        if mbr.min_dist_trajectory(q) > state.remaining:
+            return None
+        return state
+
+    def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        return hausdorff_threshold(t, q, tau)
+
+    def make_verifier(self, use_mbr_coverage: bool = True, use_cell_filter: bool = True) -> Verifier:
+        return Verifier(
+            self.exact,
+            cell_bound_fn=cell_bound_frechet,
+            use_mbr_coverage=use_mbr_coverage,
+            use_cell_filter=use_cell_filter,
+        )
+
+
+class EDRAdapter(IndexAdapter):
+    """EDR (Appendix A): each indexing point of T farther than ``epsilon``
+    from every point of Q must be edited, so it decrements an integer edit
+    budget; the pair is pruned when the budget goes negative.  MBR coverage
+    and cell bounds are unsound for edit distances and are disabled."""
+
+    distance_name = "edr"
+    subtracts = True
+
+    def __init__(self, epsilon: float = 0.001, use_suffix_pruning: bool = True) -> None:
+        super().__init__(use_suffix_pruning=use_suffix_pruning)
+        self.epsilon = epsilon
+
+    def visit(self, state: FilterState, kind: str, mbr: MBR, q: np.ndarray, node_max_len: Optional[int] = None) -> Optional[FilterState]:
+        # EDR's alignment need not pin first/last points, so every level —
+        # align or pivot — uses the same "this indexing point must match
+        # within epsilon somewhere in Q, else it costs one edit" argument.
+        d = mbr.min_dist_trajectory(q)
+        if d > self.epsilon:
+            remaining = state.remaining - 1
+            if remaining < 0:
+                return None
+            return replace(state, remaining=remaining)
+        return state
+
+    def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        return edr_threshold(t, q, self.epsilon, tau)
+
+    def make_verifier(self, use_mbr_coverage: bool = True, use_cell_filter: bool = True) -> Verifier:
+        return Verifier(self.exact, cell_bound_fn=None, use_mbr_coverage=False, use_cell_filter=False)
+
+    def distance(self) -> TrajectoryDistance:
+        return get_distance("edr", epsilon=self.epsilon)
+
+    def __repr__(self) -> str:
+        return f"EDRAdapter(epsilon={self.epsilon})"
+
+
+class LCSSAdapter(IndexAdapter):
+    """LCSS dissimilarity (Appendix A): like EDR's budget, but decrementing
+    is only sound for trajectories no longer than the query (an unmatchable
+    point of a longer T need not reduce ``min(m, n) - LCSS``), so the budget
+    is consumed only when the whole subtree is short enough; otherwise the
+    level passes through and verification decides."""
+
+    distance_name = "lcss"
+    subtracts = True
+
+    def __init__(self, epsilon: float = 0.001, delta: int = 3, use_suffix_pruning: bool = True) -> None:
+        super().__init__(use_suffix_pruning=use_suffix_pruning)
+        self.epsilon = epsilon
+        self.delta = delta
+
+    def visit(self, state: FilterState, kind: str, mbr: MBR, q: np.ndarray, node_max_len: Optional[int] = None) -> Optional[FilterState]:
+        d = mbr.min_dist_trajectory(q)
+        if d > self.epsilon:
+            if node_max_len is not None and node_max_len <= q.shape[0]:
+                remaining = state.remaining - 1
+                if remaining < 0:
+                    return None
+                return replace(state, remaining=remaining)
+        return state
+
+    def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        d = float(lcss_dissimilarity(t, q, self.epsilon, self.delta))
+        return d if d <= tau else _INF
+
+    def make_verifier(self, use_mbr_coverage: bool = True, use_cell_filter: bool = True) -> Verifier:
+        return Verifier(self.exact, cell_bound_fn=None, use_mbr_coverage=False, use_cell_filter=False)
+
+    def distance(self) -> TrajectoryDistance:
+        return get_distance("lcss", epsilon=self.epsilon, delta=self.delta)
+
+    def __repr__(self) -> str:
+        return f"LCSSAdapter(epsilon={self.epsilon}, delta={self.delta})"
+
+
+class ERPAdapter(IndexAdapter):
+    """ERP: every point of T is either matched (costing at least its
+    distance to Q) or gapped (costing its distance to the gap point), so a
+    trie level consumes ``min(MinDist(Q, MBR), MinDist(g, MBR))``."""
+
+    distance_name = "erp"
+    subtracts = True
+
+    def __init__(self, gap=None, ndim: int = 2, use_suffix_pruning: bool = False) -> None:
+        super().__init__(use_suffix_pruning=False)  # gaps break the ordering argument
+        self.gap = np.zeros(ndim) if gap is None else np.asarray(gap, dtype=np.float64)
+
+    def visit(self, state: FilterState, kind: str, mbr: MBR, q: np.ndarray, node_max_len: Optional[int] = None) -> Optional[FilterState]:
+        d = min(mbr.min_dist_trajectory(q), mbr.min_dist_point(self.gap))
+        if d > state.remaining:
+            return None
+        return replace(state, remaining=state.remaining - d)
+
+    def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        return erp_threshold(t, q, self.gap, tau)
+
+    def make_verifier(self, use_mbr_coverage: bool = True, use_cell_filter: bool = True) -> Verifier:
+        return Verifier(self.exact, cell_bound_fn=None, use_mbr_coverage=False, use_cell_filter=False)
+
+    def distance(self) -> TrajectoryDistance:
+        return get_distance("erp", gap=self.gap)
+
+
+_ADAPTERS = {
+    "dtw": DTWAdapter,
+    "frechet": FrechetAdapter,
+    "hausdorff": HausdorffAdapter,
+    "edr": EDRAdapter,
+    "lcss": LCSSAdapter,
+    "erp": ERPAdapter,
+}
+
+
+def get_adapter(name: str, **kwargs) -> IndexAdapter:
+    """Adapter factory, e.g. ``get_adapter("edr", epsilon=0.001)``."""
+    try:
+        cls = _ADAPTERS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown adapter {name!r}; available: {sorted(_ADAPTERS)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,77 @@
+"""DITA configuration (the paper's Table 3 parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DITAConfig:
+    """Tunable parameters of the DITA index and join planner.
+
+    Defaults follow the paper's Table 3 (scaled where the paper's default
+    depends on dataset size): ``num_global_partitions`` is the paper's
+    ``NG`` (total partitions = NG * NG), ``trie_fanout`` is ``NL``,
+    ``num_pivots`` is ``K``.
+    """
+
+    #: NG — first-level and second-level global partition counts.
+    num_global_partitions: int = 8
+    #: NL — trie fanout per level.
+    trie_fanout: int = 8
+    #: K — number of pivot points per trajectory.
+    num_pivots: int = 4
+    #: pivot selection strategy: "inflection", "neighbor" or "first_last".
+    pivot_strategy: str = "neighbor"
+    #: minimum trajectories in a trie node before we stop splitting
+    #: (the paper stops at 16 by default, Appendix B).
+    trie_leaf_capacity: int = 16
+    #: side length for cell-based compression, D of Lemma 5.6.  When None it
+    #: is derived from the expected threshold (2 * tau is a good default).
+    cell_size: float = 0.004
+    #: R-tree node capacity for the global index.
+    rtree_fanout: int = 16
+    #: cost-model lambda numerator pieces: average verification time per
+    #: candidate pair (Delta, seconds) and network bandwidth (B, bytes/s).
+    comp_time_per_pair: float = 2e-5
+    network_bandwidth: float = 125e6  # 1 Gbps in bytes/s
+    #: sample fraction used to estimate bi-graph edge weights (Section 6.2).
+    join_sample_fraction: float = 0.1
+    #: quantile used by division-based load balancing (Section 6.3).
+    division_quantile: float = 0.98
+    #: enable the Lemma 5.1 suffix optimization during trie filtering.
+    use_suffix_pruning: bool = True
+    #: enable the MBR coverage filter (Lemma 5.4) during verification.
+    use_mbr_coverage: bool = True
+    #: enable the cell-based lower bound (Lemma 5.6) during verification.
+    use_cell_filter: bool = True
+    #: random seed for sampling steps.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_global_partitions < 1:
+            raise ValueError("num_global_partitions must be >= 1")
+        if self.trie_fanout < 1:
+            raise ValueError("trie_fanout must be >= 1")
+        if self.num_pivots < 0:
+            raise ValueError("num_pivots must be >= 0")
+        if self.pivot_strategy not in ("inflection", "neighbor", "first_last"):
+            raise ValueError(f"unknown pivot strategy {self.pivot_strategy!r}")
+        if self.trie_leaf_capacity < 1:
+            raise ValueError("trie_leaf_capacity must be >= 1")
+        if self.cell_size is not None and self.cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        if not 0 < self.join_sample_fraction <= 1:
+            raise ValueError("join_sample_fraction must be in (0, 1]")
+        if not 0 < self.division_quantile <= 1:
+            raise ValueError("division_quantile must be in (0, 1]")
+
+    @property
+    def cost_lambda(self) -> float:
+        """λ = 1 / (Δ · B), Section 6.2's tuning constant between network
+        bytes and candidate-pair computation."""
+        return 1.0 / (self.comp_time_per_pair * self.network_bandwidth)
+
+    def with_options(self, **kwargs) -> "DITAConfig":
+        """Functional update, e.g. ``cfg.with_options(num_pivots=5)``."""
+        return replace(self, **kwargs)

@@ -1,0 +1,254 @@
+"""The DITA engine: the library's primary entry point.
+
+``DITAEngine`` owns one indexed dataset: the first/last-point partitioning,
+the global index, one trie per partition and the verification artifacts —
+exactly the state a Spark driver plus its executors would hold — and runs
+searches and joins on a simulated cluster.
+
+Typical use::
+
+    from repro import DITAEngine, DITAConfig
+    from repro.datagen import beijing_like, sample_queries
+
+    data = beijing_like(1000)
+    engine = DITAEngine(data, DITAConfig(num_global_partitions=4))
+    query = sample_queries(data, 1)[0]
+    matches = engine.search(query, tau=0.005)          # [(Trajectory, dist)]
+    pairs = engine.join(engine, tau=0.002)             # [(id, id, dist)]
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..cluster.simulator import Cluster
+from ..geometry.mbr import MBR
+from ..trajectory.trajectory import Trajectory
+from .adapters import IndexAdapter, get_adapter
+from .config import DITAConfig
+from .global_index import GlobalIndex, partition_trajectories
+from .join import JoinExecutor, JoinPair, JoinStats
+from .search import LocalSearcher, Match, SearchStats
+from .trie import TrieIndex
+from .verify import VerificationData
+
+
+class DITAEngine:
+    """An indexed, partitioned trajectory collection with search and join.
+
+    Parameters
+    ----------
+    dataset:
+        The trajectories to index.
+    config:
+        Index and planner parameters (defaults are sensible for ~10^3-10^4
+        trajectories; scale ``num_global_partitions`` with data size).
+    distance:
+        Distance name ("dtw", "frechet", "edr", "lcss", "erp") or an
+        :class:`IndexAdapter` instance for parameterized distances.
+    cluster:
+        The simulated cluster; defaults to one worker per partition group
+        (capped at 16).
+    """
+
+    def __init__(
+        self,
+        dataset: Iterable[Trajectory],
+        config: Optional[DITAConfig] = None,
+        distance: "str | IndexAdapter" = "dtw",
+        cluster: Optional[Cluster] = None,
+    ) -> None:
+        self.config = config or DITAConfig()
+        if isinstance(distance, str):
+            self.adapter = get_adapter(
+                distance, use_suffix_pruning=self.config.use_suffix_pruning
+            ) if distance in ("dtw", "frechet") else get_adapter(distance)
+        else:
+            self.adapter = distance
+        trajs = list(dataset)
+        if not trajs:
+            raise ValueError("cannot index an empty dataset")
+        build_start = time.perf_counter()
+        raw_partitions = partition_trajectories(trajs, self.config.num_global_partitions)
+        self.global_index = GlobalIndex(raw_partitions, self.config)
+        self.partitions: Dict[int, List[Trajectory]] = {
+            pid: list(part) for pid, part in enumerate(raw_partitions) if part
+        }
+        self.tries: Dict[int, TrieIndex] = {
+            pid: TrieIndex(part, self.config) for pid, part in self.partitions.items()
+        }
+        self.build_time_s = time.perf_counter() - build_start
+        self.verifier = self.adapter.make_verifier(
+            use_mbr_coverage=self.config.use_mbr_coverage,
+            use_cell_filter=self.config.use_cell_filter,
+        )
+        if cluster is None:
+            cluster = Cluster(n_workers=min(16, max(1, len(self.partitions))))
+        self.cluster = cluster
+        # left engine partitions occupy [0, n); a right engine in a join is
+        # offset by n (JoinExecutor._cluster_pid)
+        cluster.place_partitions(sorted(self.partitions))
+        self._searchers: Dict[int, LocalSearcher] = {
+            pid: LocalSearcher(trie, self.adapter, self.verifier)
+            for pid, trie in self.tries.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions.values())
+
+    def index_size_bytes(self) -> Tuple[int, int]:
+        """(global index bytes, total local index bytes) — Table 5 metric."""
+        local = sum(trie.size_bytes() for trie in self.tries.values())
+        return self.global_index.size_bytes(), local
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, traj: Trajectory) -> None:
+        """Insert a trajectory into the live index.
+
+        Routing picks the partition whose first/last-point MBR pair needs
+        the least enlargement; the partition's align MBRs grow accordingly
+        and the (small) global R-trees are rebuilt, so search and join stay
+        exact after any number of inserts.
+        """
+        if any(traj.traj_id in {t.traj_id for t in p} for p in self.partitions.values()):
+            raise ValueError(f"trajectory id {traj.traj_id} already present")
+
+        def enlargement(meta) -> float:
+            grown_f = meta.mbr_first.union(MBR.of_point(traj.first))
+            grown_l = meta.mbr_last.union(MBR.of_point(traj.last))
+            return (grown_f.area() - meta.mbr_first.area()) + (
+                grown_l.area() - meta.mbr_last.area()
+            )
+
+        meta = min(self.global_index.partitions_meta, key=lambda m: (enlargement(m), m.partition_id))
+        pid = meta.partition_id
+        self.partitions[pid].append(traj)
+        self.tries[pid].insert(traj)
+        self._refresh_global_index()
+
+    def remove(self, traj_id: int) -> bool:
+        """Remove a trajectory by id from the live index (False if absent)."""
+        for pid, part in self.partitions.items():
+            for i, t in enumerate(part):
+                if t.traj_id == traj_id:
+                    del part[i]
+                    self.tries[pid].remove(traj_id)
+                    if not part:
+                        del self.partitions[pid]
+                        del self.tries[pid]
+                        del self._searchers[pid]
+                    self._refresh_global_index()
+                    return True
+        return False
+
+    def _refresh_global_index(self) -> None:
+        """Rebuild the master-side metadata after an update (cheap: two
+        R-trees over at most NG^2 partition MBRs)."""
+        max_pid = max(self.partitions) if self.partitions else 0
+        ordered = [self.partitions.get(pid, []) for pid in range(max_pid + 1)]
+        self.global_index = GlobalIndex(ordered, self.config)
+        self.cluster.place_partitions(sorted(self.partitions))
+        self._searchers = {
+            pid: LocalSearcher(self.tries[pid], self.adapter, self.verifier)
+            for pid in self.tries
+        }
+
+    # ------------------------------------------------------------------ #
+    # search (Section 5)
+    # ------------------------------------------------------------------ #
+
+    def search(
+        self,
+        query: Trajectory,
+        tau: float,
+        stats: Optional[SearchStats] = None,
+    ) -> List[Match]:
+        """Distributed threshold similarity search (Definition 2.4).
+
+        Returns every (trajectory, distance) with ``f(T, Q) <= tau``,
+        exact and complete for the engine's distance function.
+        """
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
+        if stats is not None:
+            stats.relevant_partitions += len(relevant)
+        q_data = VerificationData.of(query, self.config.cell_size)
+        matches: List[Match] = []
+        for pid in relevant:
+            if pid not in self._searchers:
+                continue
+            searcher = self._searchers[pid]
+            local = self.cluster.run_local(
+                pid, lambda s=searcher: s.search(query, tau, query_data=q_data, stats=stats)
+            )
+            matches.extend(local)
+        return matches
+
+    def search_ids(self, query: Trajectory, tau: float) -> List[int]:
+        """Sorted ids of matching trajectories (brute-force-comparable)."""
+        return sorted(t.traj_id for t, _ in self.search(query, tau))
+
+    def count_candidates(self, query: Trajectory, tau: float) -> int:
+        """Total trie candidates across relevant partitions (Fig 17 metric)."""
+        relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
+        return sum(
+            self._searchers[pid].count_candidates(query, tau)
+            for pid in relevant
+            if pid in self._searchers
+        )
+
+    # ------------------------------------------------------------------ #
+    # join (Section 6)
+    # ------------------------------------------------------------------ #
+
+    def join(
+        self,
+        other: "DITAEngine",
+        tau: float,
+        use_orientation: bool = True,
+        use_division: bool = True,
+        stats: Optional[JoinStats] = None,
+    ) -> List[JoinPair]:
+        """Distributed threshold similarity join (Definition 2.5).
+
+        Returns (this id, other id, distance) for every cross pair within
+        ``tau``.  ``use_orientation``/``use_division`` toggle the Section 6
+        load-balancing mechanisms (for the Figure 16 ablation).
+        """
+        if tau < 0:
+            raise ValueError("tau must be non-negative")
+        # a joint cluster namespace: re-place both engines' partitions
+        cluster = self.cluster
+        left_pids = sorted(self.partitions)
+        right_pids = [self.n_partitions + pid for pid in sorted(other.partitions)]
+        cluster.place_partitions(left_pids + right_pids)
+        executor = JoinExecutor(self, other, self.adapter, cluster, self.config)
+        return executor.execute(tau, use_orientation, use_division, stats)
+
+    def self_join(self, tau: float, **kwargs) -> List[JoinPair]:
+        """Join of the dataset with itself, keeping each unordered pair once
+        (and dropping the trivial self-pairs)."""
+        pairs = self.join(self, tau, **kwargs)
+        out: List[JoinPair] = []
+        seen = set()
+        for a, b, d in pairs:
+            if a == b:
+                continue
+            key = (min(a, b), max(a, b))
+            if key not in seen:
+                seen.add(key)
+                out.append((key[0], key[1], d))
+        return out

@@ -1,0 +1,164 @@
+"""Global partitioning and the global index (Sections 4.2.1-4.2.2).
+
+Trajectories are STR-grouped into ``NG`` buckets by first point, each bucket
+STR-grouped into ``NG`` sub-buckets by last point; every sub-bucket is a
+partition (so similar trajectories land together and partitions hold
+roughly equal counts).  The global index is a pair of R-trees over each
+partition's first-point MBR (``MBR_f``) and last-point MBR (``MBR_l``);
+pruning keeps partitions with
+
+``MinDist(q1, MBR_f) + MinDist(qn, MBR_l) <= tau``
+
+(for additive distances; for Fréchet both terms are compared to ``tau``
+individually, and for EDR/LCSS a partition survives unless both align MBRs
+are farther than epsilon while the budget is exhausted — we conservatively
+keep partitions whose combined unmatched count exceeds the edit budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.mbr import MBR
+from ..spatial.rtree import RTree
+from ..trajectory.trajectory import Trajectory
+from .adapters import IndexAdapter
+from .config import DITAConfig
+from .numerics import slack
+
+
+@dataclass
+class PartitionInfo:
+    """Metadata the master keeps per partition."""
+
+    partition_id: int
+    mbr_first: MBR
+    mbr_last: MBR
+    size: int
+    nbytes: int
+    #: shortest member trajectory; the endpoint-sum bound
+    #: ``d(t1,q1) + d(tm,qn) <= DTW`` double-counts the single shared cell
+    #: when both sides have length 1, so predicates fall back to
+    #: ``max(df, dl)`` for such pairs
+    min_len: int = 2
+
+
+def partition_trajectories(
+    dataset: Sequence[Trajectory], n_groups: int
+) -> List[List[Trajectory]]:
+    """First/last-point STR partitioning into up to ``n_groups**2`` partitions.
+
+    Groups by first point into ``n_groups`` rank-balanced buckets (STR on
+    the first axis, then the second), then each bucket by last point.
+    Every trajectory is assigned to exactly one partition.
+    """
+    trajs = list(dataset)
+    if not trajs:
+        return []
+    firsts = np.asarray([t.first for t in trajs])
+    partitions: List[List[Trajectory]] = []
+    from ..spatial.str_pack import str_partition
+
+    for bucket_idx in str_partition(firsts, n_groups):
+        bucket = [trajs[i] for i in bucket_idx.tolist()]
+        lasts = np.asarray([t.last for t in bucket])
+        for sub_idx in str_partition(lasts, n_groups):
+            partitions.append([bucket[i] for i in sub_idx.tolist()])
+    return partitions
+
+
+class GlobalIndex:
+    """The master-side index over partition MBRs."""
+
+    def __init__(self, partitions: Sequence[Sequence[Trajectory]], config: Optional[DITAConfig] = None) -> None:
+        self.config = config or DITAConfig()
+        self.partitions_meta: List[PartitionInfo] = []
+        entries_f: List[Tuple[MBR, int]] = []
+        entries_l: List[Tuple[MBR, int]] = []
+        for pid, part in enumerate(partitions):
+            part = list(part)
+            if not part:
+                continue
+            firsts = np.asarray([t.first for t in part])
+            lasts = np.asarray([t.last for t in part])
+            info = PartitionInfo(
+                partition_id=pid,
+                mbr_first=MBR.of_points(firsts),
+                mbr_last=MBR.of_points(lasts),
+                size=len(part),
+                nbytes=sum(t.nbytes() for t in part),
+                min_len=min(len(t) for t in part),
+            )
+            self.partitions_meta.append(info)
+            entries_f.append((info.mbr_first, pid))
+            entries_l.append((info.mbr_last, pid))
+        fanout = self.config.rtree_fanout
+        self.rtree_first = RTree(entries_f, max_entries=fanout)
+        self.rtree_last = RTree(entries_l, max_entries=fanout)
+        self._meta_by_id = {m.partition_id: m for m in self.partitions_meta}
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.partitions_meta)
+
+    def meta(self, partition_id: int) -> PartitionInfo:
+        return self._meta_by_id[partition_id]
+
+    def relevant_partitions(
+        self, q: np.ndarray, tau: float, adapter: Optional[IndexAdapter] = None
+    ) -> List[int]:
+        """Partition ids that may hold trajectories similar to query ``q``
+        (Section 5.2 global pruning)."""
+        if adapter is not None and adapter.distance_name in ("edr", "lcss", "erp", "hausdorff"):
+            # edit distances and ERP do not force endpoint alignment, so the
+            # first/last-point global pruning is unsound for them; the local
+            # trie does the pruning instead
+            return [m.partition_id for m in self.partitions_meta]
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        q1, qn = q[0], q[-1]
+        additive = adapter is None or adapter.subtracts
+        # Cf: partitions whose first-point MBR is within tau of q1
+        tau_s = slack(tau)
+        cf = {pid: mbr.min_dist_point(q1) for mbr, pid in self.rtree_first.search_min_dist(q1, tau_s)}
+        if not cf:
+            return []
+        cl = {pid: mbr.min_dist_point(qn) for mbr, pid in self.rtree_last.search_min_dist(qn, tau_s)}
+        query_is_point = q.shape[0] == 1
+        out: List[int] = []
+        for pid, df in cf.items():
+            if pid not in cl:
+                continue
+            if not additive:
+                out.append(pid)
+                continue
+            # length-1 x length-1 pairs share one DTW cell: fall back to max
+            bound = (
+                max(df, cl[pid])
+                if query_is_point and self._meta_by_id[pid].min_len == 1
+                else df + cl[pid]
+            )
+            if bound <= tau_s:
+                out.append(pid)
+        return sorted(out)
+
+    def relevant_partitions_for_mbr(self, first_mbr: MBR, last_mbr: MBR, tau: float) -> List[int]:
+        """Partitions whose align MBRs are within ``tau`` of the given pair
+        of MBRs — the partition-to-partition predicate of the join planner."""
+        out: List[int] = []
+        tau_s = slack(tau)
+        for meta in self.partitions_meta:
+            df = meta.mbr_first.min_dist_mbr(first_mbr)
+            dl = meta.mbr_last.min_dist_mbr(last_mbr)
+            bound = max(df, dl) if meta.min_len == 1 else df + dl
+            if bound <= tau_s:
+                out.append(meta.partition_id)
+        return out
+
+    def size_bytes(self) -> int:
+        """Approximate global-index footprint (two R-trees of partition MBRs)."""
+        per_entry = 2 * 16 * 2 + 16  # two MBRs (low/high, 2 doubles each) + ids
+        return len(self.partitions_meta) * per_entry * 2

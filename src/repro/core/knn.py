@@ -1,0 +1,119 @@
+"""KNN trajectory search and join (the paper's stated future work).
+
+The conclusion of the paper plans "KNN-based search and join in DITA"; this
+module delivers them on top of the threshold machinery via the classic
+bound-refinement scheme:
+
+1. **seed** an upper bound ``tau0`` with exact distances to a small set of
+   likely-near trajectories (the partition whose first-point MBR is nearest
+   to the query's first point);
+2. run a **threshold search** at the current ``tau``; if it yields at least
+   ``k`` results, the k-th smallest distance is the answer radius;
+3. otherwise **double** ``tau`` and repeat — every iteration reuses the
+   index, and the filter bounds guarantee no near neighbour is missed.
+
+The result is exact: identical to brute-force top-k under the engine's
+distance function (ties broken by trajectory id).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..trajectory.trajectory import Trajectory
+
+#: one result: (trajectory, distance)
+Neighbour = Tuple[Trajectory, float]
+
+
+def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
+    """Bounds on the k-NN radius from exact distances to a capped sample of
+    trajectories in the nearest partitions (by first point).
+
+    Returns ``(tau_hi, tau_lo)``: the k-th smallest seed distance (a valid
+    upper bound on the k-NN radius) and the smallest seed distance (the
+    scale at which the progressive search starts).
+    """
+    dist = engine.adapter.distance()
+    # spend the exact-distance budget on the trajectories whose *first
+    # points* are nearest the query's — similar trajectories share first
+    # points, so this reliably captures near neighbours; ranking the whole
+    # dataset by first-point gap is one vectorized pass and avoids the trap
+    # of overlapping partition MBRs hiding the nearest sub-bucket
+    budget = max(4 * k, 32)
+    pool: List[Trajectory] = [t for part in engine.partitions.values() for t in part]
+    if len(pool) < k:
+        return math.inf, 0.0
+    firsts = np.asarray([t.first for t in pool])
+    gaps = np.sqrt(np.sum((firsts - np.asarray(query.first)[None, :]) ** 2, axis=1))
+    order = np.argsort(gaps, kind="stable")[:budget]
+    seeds = sorted(dist.compute(pool[int(i)].points, query.points) for i in order)
+    if len(seeds) < k:
+        return math.inf, 0.0
+    return seeds[k - 1], seeds[0]
+
+
+def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
+    """The ``k`` trajectories nearest to ``query`` under the engine's
+    distance, sorted by (distance, id).  Exact."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    n_total = len(engine)
+    k = min(k, n_total)
+    tau_hi, tau_lo = _seed_tau(engine, query, k)
+    if not math.isfinite(tau_hi):
+        # degenerate fallback: tiny dataset; compute everything
+        dist = engine.adapter.distance()
+        all_matches = [
+            (t, dist.compute(t.points, query.points))
+            for part in engine.partitions.values()
+            for t in part
+        ]
+        all_matches.sort(key=lambda m: (m[1], m[0].traj_id))
+        return all_matches[:k]
+    # progressive widening: start near the 1-NN scale (never more than a
+    # few doublings below tau_hi) and double toward the guaranteed-
+    # sufficient radius tau_hi (the k-th seed distance) — cheap early
+    # rounds usually finish before the expensive wide search is needed
+    tau = min(max(tau_lo, tau_hi / 256, 1e-12), tau_hi)
+    for _ in range(128):  # tau doubles each round; bounded by construction
+        matches = engine.search(query, tau)
+        if len(matches) >= k:
+            matches.sort(key=lambda m: (m[1], m[0].traj_id))
+            return matches[:k]
+        if tau >= tau_hi:
+            # the k seeds lie within tau_hi, so the search at tau_hi should
+            # have returned >= k; float rounding at the boundary can in
+            # principle drop a seed, so nudge once then fall back to brute
+            # force (correctness over cleverness)
+            if tau_hi > 0 and tau <= tau_hi * (1 + 1e-9):
+                tau = tau_hi * (1 + 1e-6)
+                continue
+            break
+        tau = min(tau * 2, tau_hi)
+    dist = engine.adapter.distance()
+    all_matches = [
+        (t, dist.compute(t.points, query.points))
+        for part in engine.partitions.values()
+        for t in part
+    ]
+    all_matches.sort(key=lambda m: (m[1], m[0].traj_id))
+    return all_matches[:k]
+
+
+def knn_join(left_engine, right_engine, k: int) -> List[Tuple[int, int, float]]:
+    """For every trajectory of ``right_engine``'s dataset, its ``k`` nearest
+    neighbours in ``left_engine``.  Returns (left id, right id, distance)
+    triples sorted by (right id, distance, left id)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    out: List[Tuple[int, int, float]] = []
+    for part in right_engine.partitions.values():
+        for q in part:
+            for t, d in knn_search(left_engine, q, k):
+                out.append((t.traj_id, q.traj_id, d))
+    out.sort(key=lambda r: (r[1], r[2], r[0]))
+    return out

@@ -1,0 +1,19 @@
+"""Floating-point slack for filter thresholds.
+
+Every DITA filter proves dissimilarity via ``lower_bound > tau``.  The
+bounds are mathematically sound, but accumulated float rounding can push a
+bound epsilon-above a distance that itself rounded down to exactly ``tau``,
+pruning a boundary answer.  All filters therefore compare against
+``slack(tau)`` — a hair above ``tau`` — which can only admit (never drop)
+candidates, preserving exactness after verification.
+"""
+
+from __future__ import annotations
+
+_EPS_REL = 1e-9
+_EPS_ABS = 1e-12
+
+
+def slack(tau: float) -> float:
+    """``tau`` inflated by a relative + absolute epsilon."""
+    return tau * (1.0 + _EPS_REL) + _EPS_ABS

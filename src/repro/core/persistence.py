@@ -1,0 +1,123 @@
+"""Engine persistence: save a built index to disk and load it back.
+
+A saved engine is two files:
+
+* ``<path>.npz``   — the raw trajectory points (one array per id);
+* ``<path>.json``  — config, distance adapter spec, the partition
+  assignment and every partition's serialized trie structure.
+
+Loading reconstructs the engine *without re-running* partitioning or pivot
+selection: the partition assignment and trie trees are restored verbatim;
+only derived per-trajectory artifacts (verification MBRs/cells, R-trees
+over partition MBRs) are recomputed, since they are cheap and fully
+determined by the data.
+
+The loaded engine answers queries identically to the saved one (same
+partitions, same trie shape, same results).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..cluster.simulator import Cluster
+from ..trajectory.trajectory import Trajectory
+from .adapters import EDRAdapter, ERPAdapter, IndexAdapter, LCSSAdapter, get_adapter
+from .config import DITAConfig
+from .engine import DITAEngine
+from .global_index import GlobalIndex
+from .search import LocalSearcher
+from .trie import TrieIndex
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def _adapter_spec(adapter: IndexAdapter) -> dict:
+    spec = {"name": adapter.distance_name}
+    if isinstance(adapter, EDRAdapter):
+        spec["epsilon"] = adapter.epsilon
+    elif isinstance(adapter, LCSSAdapter):
+        spec["epsilon"] = adapter.epsilon
+        spec["delta"] = adapter.delta
+    elif isinstance(adapter, ERPAdapter):
+        spec["gap"] = adapter.gap.tolist()
+    return spec
+
+
+def _adapter_from_spec(spec: dict) -> IndexAdapter:
+    name = spec["name"]
+    kwargs = {k: v for k, v in spec.items() if k != "name"}
+    if name == "erp" and "gap" in kwargs:
+        kwargs["gap"] = np.asarray(kwargs["gap"])
+    return get_adapter(name, **kwargs)
+
+
+def save_engine(engine: DITAEngine, path: PathLike) -> None:
+    """Persist ``engine`` as ``<path>.json`` + ``<path>.npz``."""
+    path = Path(path)
+    arrays = {}
+    partitions = {}
+    tries = {}
+    for pid, part in engine.partitions.items():
+        partitions[str(pid)] = [t.traj_id for t in part]
+        for t in part:
+            arrays[f"t{t.traj_id}"] = t.points
+        tries[str(pid)] = engine.tries[pid].to_dict()
+    meta = {
+        "version": FORMAT_VERSION,
+        "config": dataclasses.asdict(engine.config),
+        "adapter": _adapter_spec(engine.adapter),
+        "partitions": partitions,
+        "tries": tries,
+    }
+    np.savez_compressed(path.with_suffix(".npz"), **arrays)
+    path.with_suffix(".json").write_text(json.dumps(meta))
+
+
+def load_engine(path: PathLike, cluster: Cluster | None = None) -> DITAEngine:
+    """Load an engine saved by :func:`save_engine`."""
+    path = Path(path)
+    meta = json.loads(path.with_suffix(".json").read_text())
+    if meta.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported engine format version {meta.get('version')!r}")
+    config = DITAConfig(**meta["config"])
+    adapter = _adapter_from_spec(meta["adapter"])
+    with np.load(path.with_suffix(".npz")) as arrays:
+        trajs = {
+            int(key[1:]): Trajectory(int(key[1:]), arrays[key]) for key in arrays.files
+        }
+    engine = DITAEngine.__new__(DITAEngine)
+    engine.config = config
+    engine.adapter = adapter
+    engine.partitions = {
+        int(pid): [trajs[tid] for tid in ids] for pid, ids in meta["partitions"].items()
+    }
+    # restore tries verbatim; rebuild the (cheap, derived) global index
+    engine.tries = {
+        int(pid): TrieIndex.from_dict(meta["tries"][pid], engine.partitions[int(pid)], config)
+        for pid in meta["partitions"]
+    }
+    max_pid = max(engine.partitions) if engine.partitions else 0
+    ordered = [engine.partitions.get(pid, []) for pid in range(max_pid + 1)]
+    engine.global_index = GlobalIndex(ordered, config)
+    engine.build_time_s = 0.0
+    engine.verifier = adapter.make_verifier(
+        use_mbr_coverage=config.use_mbr_coverage,
+        use_cell_filter=config.use_cell_filter,
+    )
+    if cluster is None:
+        cluster = Cluster(n_workers=min(16, max(1, len(engine.partitions))))
+    engine.cluster = cluster
+    cluster.place_partitions(sorted(engine.partitions))
+    engine._searchers = {
+        pid: LocalSearcher(trie, adapter, engine.verifier)
+        for pid, trie in engine.tries.items()
+    }
+    return engine

@@ -1,0 +1,111 @@
+"""Pivot point selection (Section 4.1.2).
+
+Each trajectory is approximated by its first point, last point and ``K``
+*pivot points* drawn from the interior.  Every interior point gets a weight
+under one of three strategies and the ``K`` heaviest become pivots (kept in
+trajectory order, as the trie and the OPAMD bound require):
+
+* **inflection** — weight ``pi - angle(a, b, c)``: sharp turns matter;
+* **neighbor** — weight ``dist(a, b)``: points far from their predecessor;
+* **first_last** — weight ``max(dist(b, t1), dist(b, tm))``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..geometry.point import angle_at
+from ..trajectory.trajectory import Trajectory
+
+
+def inflection_weights(points: np.ndarray) -> np.ndarray:
+    """``pi - angle_at`` for interior points; endpoints get weight -inf."""
+    n = points.shape[0]
+    w = np.full(n, -math.inf)
+    for i in range(1, n - 1):
+        w[i] = math.pi - angle_at(points[i - 1], points[i], points[i + 1])
+    return w
+
+
+def neighbor_weights(points: np.ndarray) -> np.ndarray:
+    """Distance to the previous point; endpoints get weight -inf."""
+    n = points.shape[0]
+    w = np.full(n, -math.inf)
+    if n > 2:
+        diffs = points[1:] - points[:-1]
+        dists = np.sqrt(np.sum(diffs * diffs, axis=1))
+        w[1 : n - 1] = dists[: n - 2]
+    return w
+
+
+def first_last_weights(points: np.ndarray) -> np.ndarray:
+    """``max(dist(b, first), dist(b, last))``; endpoints get weight -inf."""
+    n = points.shape[0]
+    w = np.full(n, -math.inf)
+    if n > 2:
+        d_first = np.sqrt(np.sum((points - points[0]) ** 2, axis=1))
+        d_last = np.sqrt(np.sum((points - points[-1]) ** 2, axis=1))
+        w[1 : n - 1] = np.maximum(d_first, d_last)[1 : n - 1]
+    return w
+
+
+_STRATEGIES: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "inflection": inflection_weights,
+    "neighbor": neighbor_weights,
+    "first_last": first_last_weights,
+}
+
+
+def pivot_indices(points: np.ndarray, k: int, strategy: str = "neighbor") -> List[int]:
+    """Indices of the ``k`` pivot points of a trajectory, in sequence order.
+
+    Pivots are interior points (never the first or last point, per
+    Definition 4.2).  When the trajectory has fewer than ``k`` interior
+    points, every interior point becomes a pivot and the sequence is simply
+    shorter — padding by repetition would double-count a row that DTW pays
+    only once and break the lower bound, so the trie instead terminates
+    short trajectories in an early leaf.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    try:
+        weight_fn = _STRATEGIES[strategy]
+    except KeyError:
+        raise KeyError(f"unknown pivot strategy {strategy!r}; choose from {sorted(_STRATEGIES)}") from None
+    mat = np.asarray(points, dtype=np.float64)
+    n = mat.shape[0]
+    interior = max(0, n - 2)
+    if k == 0 or interior == 0:
+        return []
+    kk = min(k, interior)
+    w = weight_fn(mat)
+    # heaviest kk interior points; stable tie-break on index for determinism
+    order = np.argsort(-w[1 : n - 1], kind="stable") + 1
+    chosen = sorted(order[:kk].tolist())
+    return [int(i) for i in chosen]
+
+
+def indexing_points(traj: Trajectory, k: int, strategy: str = "neighbor") -> np.ndarray:
+    """The indexing-point sequence ``T_I = (t1, tm, tP1, ..., tPK)``.
+
+    Returns between 1 and ``k + 2`` rows: first point, last point, then up
+    to ``k`` interior pivots in trajectory order.  Short trajectories yield
+    shorter sequences (see :func:`pivot_indices`); a single-point trajectory
+    yields just its one point — listing it twice would double-charge the one
+    DTW cell the pair shares and break the lower bound.
+    """
+    pts = traj.points
+    if pts.shape[0] == 1:
+        return pts[:1].copy()
+    idx = pivot_indices(pts, k, strategy)
+    rows = [pts[0], pts[-1]]
+    rows.extend(pts[i] for i in idx)
+    return np.asarray(rows)
+
+
+def available_strategies() -> List[str]:
+    """Names accepted by :func:`pivot_indices`."""
+    return sorted(_STRATEGIES)

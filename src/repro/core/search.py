@@ -1,0 +1,81 @@
+"""Trajectory similarity search (Section 5).
+
+``LocalSearcher`` answers a query inside one partition: trie filter
+(Algorithm 2) followed by the staged verifier.  The distributed flow —
+global pruning, dispatch to relevant partitions, collection — lives in
+:class:`repro.core.engine.DITAEngine`, which runs one ``LocalSearcher`` per
+relevant partition on the simulated cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..trajectory.trajectory import Trajectory
+from .adapters import IndexAdapter
+from .trie import FilterStats, TrieIndex
+from .verify import VerificationData, Verifier, VerifyStats
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation across the whole search pipeline."""
+
+    relevant_partitions: int = 0
+    filter: FilterStats = field(default_factory=FilterStats)
+    verify: VerifyStats = field(default_factory=VerifyStats)
+
+    @property
+    def candidates(self) -> int:
+        return self.filter.candidates
+
+    def merge(self, other: "SearchStats") -> None:
+        self.relevant_partitions += other.relevant_partitions
+        self.filter.nodes_visited += other.filter.nodes_visited
+        self.filter.nodes_pruned += other.filter.nodes_pruned
+        self.filter.candidates += other.filter.candidates
+        self.verify.merge(other.verify)
+
+
+#: one match: (trajectory, distance)
+Match = Tuple[Trajectory, float]
+
+
+class LocalSearcher:
+    """Filter-verify search inside one indexed partition."""
+
+    def __init__(self, trie: TrieIndex, adapter: IndexAdapter, verifier: Optional[Verifier] = None) -> None:
+        self.trie = trie
+        self.adapter = adapter
+        self.verifier = verifier or adapter.make_verifier(
+            use_mbr_coverage=trie.config.use_mbr_coverage,
+            use_cell_filter=trie.config.use_cell_filter,
+        )
+
+    def search(
+        self,
+        query: Trajectory,
+        tau: float,
+        query_data: Optional[VerificationData] = None,
+        stats: Optional[SearchStats] = None,
+    ) -> List[Match]:
+        """All (trajectory, distance) pairs in this partition with
+        ``f(T, Q) <= tau``."""
+        fstats = stats.filter if stats is not None else None
+        candidates = self.trie.filter_candidates(query.points, tau, self.adapter, fstats)
+        if query_data is None:
+            query_data = VerificationData.of(query, self.trie.config.cell_size)
+        vstats = stats.verify if stats is not None else None
+        matches: List[Match] = []
+        for t in candidates:
+            d = self.verifier.verify(
+                t, query, tau, self.trie.verification.get(t.traj_id), query_data, vstats
+            )
+            if d <= tau:
+                matches.append((t, d))
+        return matches
+
+    def count_candidates(self, query: Trajectory, tau: float) -> int:
+        """Candidate count only (the Figure 17 pruning-power metric)."""
+        return len(self.trie.filter_candidates(query.points, tau, self.adapter))

@@ -1,0 +1,137 @@
+"""Verification pipeline (Section 5.3.3).
+
+Candidates that survive the trie filter are verified in three stages of
+increasing cost:
+
+1. **MBR coverage filtering** (Lemma 5.4) — O(1): if ``EMBR(T, tau)`` does
+   not fully cover ``MBR(Q)`` (or vice versa) some point of one trajectory
+   is farther than ``tau`` from *every* point of the other, so the DTW (and
+   Fréchet) distance must exceed ``tau``.
+2. **Cell-based compression** (Lemma 5.6) — O(#cells²): the per-cell
+   weighted minimum-distance sum lower-bounds DTW.  For Fréchet the same
+   cells give a max-based lower bound.
+3. **Double-direction threshold DTW** — the exact computation, abandoned as
+   early as partial sums exceed ``tau``.
+
+Cells and MBRs are precomputed at indexing time (``VerificationData``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.cell import Cell, CellSet
+from ..geometry.mbr import MBR
+from ..trajectory.trajectory import Trajectory
+
+_INF = math.inf
+
+
+@dataclass
+class VerificationData:
+    """Per-trajectory precomputed artifacts used by the verifier."""
+
+    mbr: MBR
+    cells: CellSet
+
+    @classmethod
+    def of(cls, traj: Trajectory, cell_size: float) -> "VerificationData":
+        return cls(mbr=traj.mbr, cells=CellSet.from_points(traj.points, cell_size))
+
+
+from .numerics import slack as _slack
+
+
+def mbr_coverage_ok(t_mbr: MBR, q_mbr: MBR, tau: float) -> bool:
+    """True when the pair survives Lemma 5.4 (may still be similar)."""
+    slack = _slack(tau)
+    return t_mbr.expand(slack).contains_mbr(q_mbr) and q_mbr.expand(slack).contains_mbr(t_mbr)
+
+
+def cell_bound_dtw(cells_t: CellSet, cells_q: CellSet) -> float:
+    """``max(Cell(T,Q), Cell(Q,T))`` — additive lower bound for DTW."""
+    m = cells_t.min_dist_matrix(cells_q)
+    forward = float(np.dot(m.min(axis=1), cells_t.counts))
+    backward = float(np.dot(m.min(axis=0), cells_q.counts))
+    return max(forward, backward)
+
+
+def cell_bound_frechet(cells_t: CellSet, cells_q: CellSet) -> float:
+    """Max-based cell lower bound for Fréchet: every point of T must match a
+    point of Q within the Fréchet distance, so the largest cell-to-nearest-
+    cell gap (in either direction) lower-bounds it."""
+    m = cells_t.min_dist_matrix(cells_q)
+    return max(float(m.min(axis=1).max()), float(m.min(axis=0).max()))
+
+
+@dataclass
+class VerifyStats:
+    """Counts of where candidate pairs were resolved (for the ablations)."""
+
+    pairs: int = 0
+    pruned_by_mbr: int = 0
+    pruned_by_cells: int = 0
+    exact_computed: int = 0
+    accepted: int = 0
+
+    def merge(self, other: "VerifyStats") -> None:
+        self.pairs += other.pairs
+        self.pruned_by_mbr += other.pruned_by_mbr
+        self.pruned_by_cells += other.pruned_by_cells
+        self.exact_computed += other.exact_computed
+        self.accepted += other.accepted
+
+
+class Verifier:
+    """Configurable verification pipeline shared by search and join."""
+
+    def __init__(
+        self,
+        exact_fn,
+        cell_bound_fn=cell_bound_dtw,
+        use_mbr_coverage: bool = True,
+        use_cell_filter: bool = True,
+    ) -> None:
+        """``exact_fn(t_points, q_points, tau) -> distance or inf`` is the
+        threshold-constrained exact distance (e.g. double-direction DTW);
+        ``cell_bound_fn`` may be ``None`` to disable the cell stage."""
+        self.exact_fn = exact_fn
+        self.cell_bound_fn = cell_bound_fn
+        self.use_mbr_coverage = use_mbr_coverage
+        self.use_cell_filter = use_cell_filter and cell_bound_fn is not None
+
+    def verify(
+        self,
+        t: Trajectory,
+        q: Trajectory,
+        tau: float,
+        t_data: Optional[VerificationData] = None,
+        q_data: Optional[VerificationData] = None,
+        stats: Optional[VerifyStats] = None,
+    ) -> float:
+        """Exact distance when ``<= tau`` else ``inf``, using the staged
+        filters whenever precomputed data is available."""
+        if stats is not None:
+            stats.pairs += 1
+        if self.use_mbr_coverage:
+            t_mbr = t_data.mbr if t_data is not None else t.mbr
+            q_mbr = q_data.mbr if q_data is not None else q.mbr
+            if not mbr_coverage_ok(t_mbr, q_mbr, tau):
+                if stats is not None:
+                    stats.pruned_by_mbr += 1
+                return _INF
+        if self.use_cell_filter and t_data is not None and q_data is not None:
+            if self.cell_bound_fn(t_data.cells, q_data.cells) > _slack(tau):
+                if stats is not None:
+                    stats.pruned_by_cells += 1
+                return _INF
+        if stats is not None:
+            stats.exact_computed += 1
+        d = self.exact_fn(t.points, q.points, tau)
+        if d <= tau and stats is not None:
+            stats.accepted += 1
+        return d

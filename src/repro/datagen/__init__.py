@@ -1,0 +1,21 @@
+"""Synthetic datasets and query workloads (Beijing/Chengdu/OSM analogues)."""
+
+from .generators import (
+    beijing_like,
+    chengdu_like,
+    citywide_dataset,
+    osm_like,
+    random_walk_dataset,
+    worldwide_dataset,
+)
+from .queries import sample_queries
+
+__all__ = [
+    "beijing_like",
+    "chengdu_like",
+    "citywide_dataset",
+    "osm_like",
+    "random_walk_dataset",
+    "sample_queries",
+    "worldwide_dataset",
+]

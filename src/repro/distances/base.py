@@ -1,0 +1,87 @@
+"""Distance function abstraction and registry.
+
+DITA's versatility claim (challenge 4 in the introduction) is that one index
+serves many similarity functions: the non-metric DTW, LCSS and EDR and the
+metric Fréchet (plus ERP).  Every function here implements the same small
+interface so the search/join framework, the SQL layer and the benchmarks can
+swap them by name.
+
+Conventions:
+
+* ``compute(t, q)`` returns the exact distance (for LCSS we return the
+  *dissimilarity* ``min(m, n) - LCSS`` so that "smaller is more similar"
+  holds uniformly; see :mod:`repro.distances.lcss`).
+* ``compute_threshold(t, q, tau)`` returns the exact distance when it is
+  ``<= tau`` and ``math.inf`` otherwise — implementations may abandon early,
+  which is the paper's ``DTW(T, Q, tau)`` optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Type
+
+import numpy as np
+
+
+class TrajectoryDistance(ABC):
+    """Interface shared by every trajectory similarity function."""
+
+    #: registry key, e.g. ``"dtw"``
+    name: str = "abstract"
+    #: True for metric functions (triangle inequality holds), e.g. Fréchet.
+    is_metric: bool = False
+    #: True when the trie can subtract accumulated per-level distance from
+    #: the threshold (DTW-style additive accumulation).
+    accumulates: bool = False
+
+    @abstractmethod
+    def compute(self, t: np.ndarray, q: np.ndarray) -> float:
+        """Exact distance between point arrays ``t`` (m, d) and ``q`` (n, d)."""
+
+    def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        """Distance if ``<= tau`` else ``math.inf``; default has no pruning."""
+        d = self.compute(t, q)
+        return d if d <= tau else math.inf
+
+    def similar(self, t: np.ndarray, q: np.ndarray, tau: float) -> bool:
+        """Definition 2.3: ``f(T, Q) <= tau``."""
+        return self.compute_threshold(t, q, tau) <= tau
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Callable[[], TrajectoryDistance]] = {}
+
+
+def register_distance(name: str) -> Callable[[Type[TrajectoryDistance]], Type[TrajectoryDistance]]:
+    """Class decorator adding a distance to the global registry under ``name``."""
+
+    def wrap(cls: Type[TrajectoryDistance]) -> Type[TrajectoryDistance]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def get_distance(name: str, **kwargs) -> TrajectoryDistance:
+    """Instantiate a registered distance by name (e.g. ``get_distance("dtw")``).
+
+    Keyword arguments are forwarded to the constructor (e.g. ``epsilon`` for
+    EDR, ``epsilon``/``delta`` for LCSS, ``gap`` for ERP).
+    """
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown distance {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_distances() -> list:
+    """Sorted registry keys."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,213 @@
+"""Dynamic Time Warping (Definition 2.2) and its optimized variants.
+
+The paper uses DTW as the default distance.  We provide:
+
+* :func:`dtw` — the exact O(mn) dynamic program of Definition 2.2;
+* :func:`dtw_threshold` — ``DTW(T, Q, tau)``, the threshold-constrained
+  version used during verification: rows whose minimum accumulated value
+  exceeds ``tau`` abandon the computation early;
+* :func:`dtw_double_direction` — the Section 5.3.3 "double-direction
+  verification": the DP is run simultaneously from the first points and
+  (backwards) from the last points and joined in the middle, so a pair whose
+  partial sums already exceed ``tau`` is rejected after touching only half
+  the matrix;
+* :func:`dtw_window` — a Sakoe-Chiba banded DTW (extension; not used by the
+  paper's experiments but standard in the time-series literature it cites).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..geometry.point import pairwise_distances
+from .base import TrajectoryDistance, register_distance
+
+_INF = math.inf
+
+
+def _check(t: np.ndarray, q: np.ndarray) -> tuple:
+    t = np.asarray(t, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if t.ndim == 1:
+        t = t[None, :]
+    if q.ndim == 1:
+        q = q[None, :]
+    if t.shape[0] == 0 or q.shape[0] == 0:
+        raise ValueError("DTW is undefined for empty trajectories")
+    if t.shape[1] != q.shape[1]:
+        raise ValueError(f"dimension mismatch: {t.shape[1]} vs {q.shape[1]}")
+    return t, q
+
+
+def dtw(t: np.ndarray, q: np.ndarray) -> float:
+    """Exact DTW via the classic cumulative-cost dynamic program.
+
+    ``v[i, j] = w[i, j] + min(v[i-1, j-1], v[i-1, j], v[i, j-1])`` with the
+    first row/column accumulated, matching Definition 2.2's base cases.
+    """
+    t, q = _check(t, q)
+    w = pairwise_distances(t, q)
+    m, n = w.shape
+    v = np.empty_like(w)
+    v[0, :] = np.cumsum(w[0, :])
+    v[:, 0] = np.cumsum(w[:, 0])
+    for i in range(1, m):
+        row_prev = v[i - 1]
+        row = v[i]
+        wi = w[i]
+        for j in range(1, n):
+            best = row_prev[j - 1]
+            if row_prev[j] < best:
+                best = row_prev[j]
+            if row[j - 1] < best:
+                best = row[j - 1]
+            row[j] = wi[j] + best
+    return float(v[m - 1, n - 1])
+
+
+def dtw_threshold(t: np.ndarray, q: np.ndarray, tau: float) -> float:
+    """``DTW(T, Q, tau)``: the exact value when ``<= tau``, else ``inf``.
+
+    Early abandon: any cell whose accumulated cost exceeds ``tau`` can never
+    be on a path of total cost ``<= tau`` (costs are non-negative), so it is
+    set to ``inf``; when a whole row becomes ``inf`` the pair is rejected.
+    """
+    t, q = _check(t, q)
+    w = pairwise_distances(t, q)
+    m, n = w.shape
+    prev = np.cumsum(w[0, :])
+    prev[prev > tau] = _INF
+    if not np.isfinite(prev).any():
+        return _INF
+    for i in range(1, m):
+        cur = np.full(n, _INF)
+        wi = w[i]
+        if np.isfinite(prev[0]):
+            val = wi[0] + prev[0]
+            if val <= tau:
+                cur[0] = val
+        for j in range(1, n):
+            best = prev[j - 1]
+            if prev[j] < best:
+                best = prev[j]
+            if cur[j - 1] < best:
+                best = cur[j - 1]
+            if np.isfinite(best):
+                val = wi[j] + best
+                if val <= tau:
+                    cur[j] = val
+        if not np.isfinite(cur).any():
+            return _INF
+        prev = cur
+    return float(prev[n - 1]) if np.isfinite(prev[n - 1]) else _INF
+
+
+def _forward_rows(w: np.ndarray, rows: int, tau: float):
+    """Forward DP over the first ``rows`` rows of ``w``; returns the last
+    computed row (or None on early abandon)."""
+    n = w.shape[1]
+    prev = np.cumsum(w[0, :])
+    prev[prev > tau] = _INF
+    if not np.isfinite(prev).any():
+        return None
+    for i in range(1, rows):
+        cur = np.full(n, _INF)
+        wi = w[i]
+        if np.isfinite(prev[0]):
+            val = wi[0] + prev[0]
+            if val <= tau:
+                cur[0] = val
+        for j in range(1, n):
+            best = min(prev[j - 1], prev[j], cur[j - 1])
+            if np.isfinite(best):
+                val = wi[j] + best
+                if val <= tau:
+                    cur[j] = val
+        if not np.isfinite(cur).any():
+            return None
+        prev = cur
+    return prev
+
+
+def dtw_double_direction(t: np.ndarray, q: np.ndarray, tau: float) -> float:
+    """Double-direction threshold DTW (Section 5.3.3).
+
+    Runs the forward DP over the first half of T's rows and the backward DP
+    (on the reversed matrices) over the second half, abandoning either side
+    as soon as all partial sums exceed ``tau``.  The two frontiers are then
+    joined: every warping path crosses from row ``h`` to row ``h+1`` via a
+    vertical or diagonal step, so
+
+    ``DTW = min over j of ( F[h][j] + min(B[h+1][j], B[h+1][j+1]) )``
+
+    where ``F`` is the forward cumulative row and ``B`` the backward one.
+    Returns the exact DTW when ``<= tau``, else ``inf``.
+    """
+    t, q = _check(t, q)
+    m, n = t.shape[0], q.shape[0]
+    if m == 1:
+        total = float(np.sum(pairwise_distances(t, q)))
+        return total if total <= tau else _INF
+    w = pairwise_distances(t, q)
+    h = m // 2  # forward covers rows 0..h-1, backward rows h..m-1
+    fwd = _forward_rows(w, h, tau)
+    if fwd is None:
+        return _INF
+    # backward DP over rows h..m-1 equals forward DP over the reversed block
+    w_back = w[h:, :][::-1, ::-1]
+    bwd_rev = _forward_rows(w_back, w_back.shape[0], tau)
+    if bwd_rev is None:
+        return _INF
+    bwd = bwd_rev[::-1]  # bwd[j] = DTW(T[h:], Q[j:]) capped at tau
+    best = _INF
+    for j in range(n):
+        f = fwd[j]
+        if not np.isfinite(f):
+            continue
+        join = bwd[j]
+        if j + 1 < n and bwd[j + 1] < join:
+            join = bwd[j + 1]
+        if np.isfinite(join):
+            total = f + join
+            if total < best:
+                best = total
+    return best if best <= tau else _INF
+
+
+def dtw_window(t: np.ndarray, q: np.ndarray, window: int) -> float:
+    """Sakoe-Chiba banded DTW: cells with ``|i - j| > window`` are skipped.
+
+    With ``window >= max(m, n)`` this equals exact DTW.
+    """
+    t, q = _check(t, q)
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    w = pairwise_distances(t, q)
+    m, n = w.shape
+    window = max(window, abs(m - n))  # band must reach the final cell
+    v = np.full((m + 1, n + 1), _INF)
+    v[0, 0] = 0.0
+    for i in range(1, m + 1):
+        lo = max(1, i - window)
+        hi = min(n, i + window)
+        for j in range(lo, hi + 1):
+            best = min(v[i - 1, j - 1], v[i - 1, j], v[i, j - 1])
+            if np.isfinite(best):
+                v[i, j] = w[i - 1, j - 1] + best
+    return float(v[m, n])
+
+
+@register_distance("dtw")
+class DTWDistance(TrajectoryDistance):
+    """Dynamic Time Warping, the paper's default distance function."""
+
+    is_metric = False
+    accumulates = True
+
+    def compute(self, t: np.ndarray, q: np.ndarray) -> float:
+        return dtw(t, q)
+
+    def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        return dtw_double_direction(t, q, tau)

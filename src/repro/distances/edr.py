@@ -1,0 +1,105 @@
+"""Edit Distance on Real sequence (EDR, Definition A.2).
+
+``EDR_eps(T, Q)`` counts the minimum number of edit operations
+(insert/delete/substitute) needed to make the two trajectories equivalent,
+where two points "match" (substitution cost 0) when their Euclidean distance
+is at most ``epsilon``.  The value is an integer in ``[|m - n|, max(m, n)]``,
+which gives the paper's length filter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..geometry.point import pairwise_distances
+from .base import TrajectoryDistance, register_distance
+
+_INF = math.inf
+
+
+def edr(t: np.ndarray, q: np.ndarray, epsilon: float) -> int:
+    """Exact EDR via the O(mn) edit-distance dynamic program."""
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    m, n = t.shape[0], q.shape[0]
+    match = pairwise_distances(t, q) <= epsilon
+    prev = np.arange(n + 1)  # EDR(empty, Q^j) = j
+    for i in range(1, m + 1):
+        cur = np.empty(n + 1, dtype=np.int64)
+        cur[0] = i  # EDR(T^i, empty) = i
+        match_row = match[i - 1]
+        for j in range(1, n + 1):
+            sub = prev[j - 1] + (0 if match_row[j - 1] else 1)
+            ins = prev[j] + 1
+            dele = cur[j - 1] + 1
+            best = sub
+            if ins < best:
+                best = ins
+            if dele < best:
+                best = dele
+            cur[j] = best
+        prev = cur
+    return int(prev[n])
+
+
+def edr_threshold(t: np.ndarray, q: np.ndarray, epsilon: float, tau: float) -> float:
+    """EDR if ``<= tau`` else ``inf``, with the length filter and a banded DP.
+
+    Any path with more than ``tau`` edits is useless, so cells with
+    ``|i - j| > tau`` (which force at least that many indels) are skipped.
+    """
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    m, n = t.shape[0], q.shape[0]
+    if abs(m - n) > tau:
+        return _INF
+    band = int(math.floor(tau))
+    match = pairwise_distances(t, q) <= epsilon
+    big = m + n + 1
+    prev = np.full(n + 1, big, dtype=np.int64)
+    hi0 = min(n, band)
+    prev[: hi0 + 1] = np.arange(hi0 + 1)
+    for i in range(1, m + 1):
+        cur = np.full(n + 1, big, dtype=np.int64)
+        lo = max(0, i - band)
+        hi = min(n, i + band)
+        if lo == 0:
+            cur[0] = i
+            lo = 1
+        match_row = match[i - 1]
+        for j in range(lo, hi + 1):
+            sub = prev[j - 1] + (0 if match_row[j - 1] else 1)
+            ins = prev[j] + 1
+            dele = cur[j - 1] + 1
+            best = min(sub, ins, dele)
+            cur[j] = best
+        if cur.min() > tau:
+            return _INF
+        prev = cur
+    return float(prev[n]) if prev[n] <= tau else _INF
+
+
+@register_distance("edr")
+class EDRDistance(TrajectoryDistance):
+    """EDR with a fixed matching threshold ``epsilon``."""
+
+    is_metric = False
+    accumulates = False
+
+    def __init__(self, epsilon: float = 0.001) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+
+    def compute(self, t: np.ndarray, q: np.ndarray) -> float:
+        return float(edr(t, q, self.epsilon))
+
+    def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
+        return edr_threshold(t, q, self.epsilon, tau)
+
+    def __repr__(self) -> str:
+        return f"EDRDistance(epsilon={self.epsilon})"

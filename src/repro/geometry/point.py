@@ -1,0 +1,99 @@
+"""Points and point-to-point distances.
+
+DITA treats each trajectory point as a d-dimensional tuple; the paper uses
+2-dimensional ``(latitude, longitude)`` points and Euclidean point-to-point
+distance throughout.  We keep points as plain numpy arrays (shape ``(d,)``)
+for speed, and provide the distance helpers used by every other layer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+PointLike = Union[Sequence[float], np.ndarray]
+
+
+def as_point(p: PointLike) -> np.ndarray:
+    """Coerce ``p`` to a float64 numpy vector of shape ``(d,)``.
+
+    Raises ``ValueError`` for empty or non-1-dimensional input.
+    """
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"a point must be a non-empty 1-d vector, got shape {arr.shape}")
+    return arr
+
+
+def euclidean(a: PointLike, b: PointLike) -> float:
+    """Euclidean distance between two points of equal dimensionality."""
+    pa = np.asarray(a, dtype=np.float64)
+    pb = np.asarray(b, dtype=np.float64)
+    if pa.shape != pb.shape:
+        raise ValueError(f"dimension mismatch: {pa.shape} vs {pb.shape}")
+    return float(math.sqrt(float(np.sum((pa - pb) ** 2))))
+
+
+def squared_euclidean(a: PointLike, b: PointLike) -> float:
+    """Squared Euclidean distance (avoids the sqrt when only comparing)."""
+    pa = np.asarray(a, dtype=np.float64)
+    pb = np.asarray(b, dtype=np.float64)
+    return float(np.sum((pa - pb) ** 2))
+
+
+def pairwise_distances(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix between two point sets.
+
+    ``xs`` has shape ``(m, d)`` and ``ys`` shape ``(n, d)``; the result has
+    shape ``(m, n)`` with ``result[i, j] == euclidean(xs[i], ys[j])``.  This is
+    the ``w`` matrix of the paper's Table 1 and the inner loop of every DP
+    distance function, so it is fully vectorized.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.ndim != 2 or ys.ndim != 2:
+        raise ValueError("pairwise_distances expects 2-d arrays of points")
+    if xs.shape[1] != ys.shape[1]:
+        raise ValueError(f"dimension mismatch: {xs.shape[1]} vs {ys.shape[1]}")
+    diff = xs[:, None, :] - ys[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=2))
+
+
+def point_to_points_min(p: PointLike, ys: np.ndarray) -> float:
+    """Minimum Euclidean distance from point ``p`` to any row of ``ys``."""
+    p = np.asarray(p, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if ys.size == 0:
+        return math.inf
+    diff = ys - p[None, :]
+    return float(math.sqrt(float(np.min(np.sum(diff * diff, axis=1)))))
+
+
+def centroid(points: Iterable[PointLike]) -> np.ndarray:
+    """Arithmetic mean of a non-empty collection of points."""
+    mat = np.asarray(list(points), dtype=np.float64)
+    if mat.size == 0:
+        raise ValueError("centroid of an empty point set is undefined")
+    return mat.mean(axis=0)
+
+
+def angle_at(a: PointLike, b: PointLike, c: PointLike) -> float:
+    """Interior angle ``∠abc`` in radians, in ``[0, pi]``.
+
+    Used by the Inflection Point pivot strategy, which weights point ``b`` by
+    ``pi - angle_at(a, b, c)``.  Degenerate configurations (zero-length
+    segments) are treated as a straight line (angle ``pi``), i.e. weight 0,
+    so stationary GPS fixes never become pivots.
+    """
+    pa, pb, pc = (np.asarray(x, dtype=np.float64) for x in (a, b, c))
+    v1 = pa - pb
+    v2 = pc - pb
+    n1 = float(np.linalg.norm(v1))
+    n2 = float(np.linalg.norm(v2))
+    if n1 == 0.0 or n2 == 0.0:
+        return math.pi
+    cosine = float(np.dot(v1, v2)) / (n1 * n2)
+    cosine = max(-1.0, min(1.0, cosine))
+    return math.acos(cosine)

@@ -1,0 +1,7 @@
+"""Spatial indexing substrate: STR packing, bulk-loaded R-tree, grid index."""
+
+from .grid import GridIndex
+from .rtree import RTree
+from .str_pack import str_group_sizes, str_partition, str_tile_1d
+
+__all__ = ["GridIndex", "RTree", "str_group_sizes", "str_partition", "str_tile_1d"]

@@ -1,0 +1,75 @@
+"""Uniform grid inverted index.
+
+Appendix A of the paper uses a global grid map for EDR/LCSS leaf-level
+filtering: each point maps to a grid cell and an inverted list records which
+trajectories have points in that cell; a query point probes all cells within
+``epsilon`` to find candidate trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+
+class GridIndex:
+    """A uniform grid over 2-d space with per-cell inverted lists."""
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], Set[int]] = defaultdict(set)
+        self._count = 0
+
+    def _key(self, p: np.ndarray) -> Tuple[int, int]:
+        return (
+            int(math.floor(p[0] / self.cell_size)),
+            int(math.floor(p[1] / self.cell_size)),
+        )
+
+    def insert_trajectory(self, traj_id: int, points: np.ndarray) -> None:
+        """Record every point of trajectory ``traj_id`` in its grid cell."""
+        mat = np.asarray(points, dtype=np.float64)
+        for p in mat:
+            self._cells[self._key(p)].add(traj_id)
+            self._count += 1
+
+    def candidates_near_point(self, p: np.ndarray, radius: float) -> Set[int]:
+        """Ids of trajectories with at least one point in a cell within
+        ``radius`` of ``p`` (superset of trajectories with a point within
+        ``radius``)."""
+        q = np.asarray(p, dtype=np.float64)
+        span = int(math.ceil(radius / self.cell_size)) + 1
+        cx, cy = self._key(q)
+        out: Set[int] = set()
+        for dx in range(-span, span + 1):
+            for dy in range(-span, span + 1):
+                key = (cx + dx, cy + dy)
+                if key not in self._cells:
+                    continue
+                # distance from q to the cell rectangle
+                low = np.array(key, dtype=np.float64) * self.cell_size
+                high = low + self.cell_size
+                clamped = np.clip(q, low, high)
+                if float(np.sqrt(np.sum((q - clamped) ** 2))) <= radius:
+                    out |= self._cells[key]
+        return out
+
+    def candidates_near_trajectory(self, points: np.ndarray, radius: float) -> Set[int]:
+        """Union of ``candidates_near_point`` over all points."""
+        out: Set[int] = set()
+        for p in np.asarray(points, dtype=np.float64):
+            out |= self.candidates_near_point(p, radius)
+        return out
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def n_points(self) -> int:
+        return self._count

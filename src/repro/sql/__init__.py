@@ -1,0 +1,21 @@
+"""Extended SQL and DataFrame front end (the Spark SQL analogue)."""
+
+from .ast import CreateIndex, Select
+from .catalog import Catalog, Table
+from .dataframe import TrajectoryFrame
+from .lexer import tokenize
+from .parser import parse
+from .session import DITASession
+from .tokens import SQLError
+
+__all__ = [
+    "Catalog",
+    "CreateIndex",
+    "DITASession",
+    "SQLError",
+    "Select",
+    "Table",
+    "TrajectoryFrame",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,133 @@
+"""Abstract syntax tree for the extended SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+# --------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant."""
+
+    value: Union[float, str]
+
+
+@dataclass(frozen=True)
+class Param:
+    """A named parameter ``:name`` bound at execution time."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``table.column`` or bare ``column`` / bare table alias."""
+
+    name: str
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TrajectoryLiteral:
+    """Inline trajectory ``[(x, y), (x, y), ...]``."""
+
+    points: Tuple[Tuple[float, ...], ...]
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """``f(arg, arg, ...)`` — similarity functions or scalar helpers."""
+
+    name: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic: ``left op right`` with op in + - * /."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left cmp right`` with cmp in <= < >= > = != ."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """AND/OR over two predicates."""
+
+    op: str  # "and" | "or"
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    operand: "Expr"
+
+
+Expr = Union[
+    Literal, Param, ColumnRef, TrajectoryLiteral, FunctionCall, BinaryOp, Comparison, BoolOp, NotOp
+]
+
+
+# --------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select:
+    """``SELECT items FROM table [TRA-JOIN table ON pred] [WHERE pred]``."""
+
+    items: Tuple[Expr, ...]           # empty tuple means SELECT *
+    table: TableRef
+    join_table: Optional[TableRef] = None
+    join_condition: Optional[Expr] = None
+    where: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    """``CREATE INDEX name ON table USE TRIE``."""
+
+    index_name: str
+    table: str
+    method: str = "trie"
+
+
+Statement = Union[Select, CreateIndex]

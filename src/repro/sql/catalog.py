@@ -1,0 +1,73 @@
+"""The session catalog: registered tables and their indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import DITAConfig
+from ..core.engine import DITAEngine
+from ..trajectory.trajectory import TrajectoryDataset
+from .tokens import SQLError
+
+
+@dataclass
+class Table:
+    """A registered trajectory table; ``engine`` is set once indexed."""
+
+    name: str
+    dataset: TrajectoryDataset
+    engine: Optional[DITAEngine] = None
+    index_name: Optional[str] = None
+
+    @property
+    def is_indexed(self) -> bool:
+        return self.engine is not None
+
+
+class Catalog:
+    """Name → table mapping with index management."""
+
+    def __init__(self, config: Optional[DITAConfig] = None) -> None:
+        self.config = config or DITAConfig()
+        self._tables: Dict[str, Table] = {}
+
+    def register(self, name: str, dataset: TrajectoryDataset) -> Table:
+        if name in self._tables:
+            raise SQLError(f"table {name!r} already exists")
+        table = Table(name=name, dataset=dataset)
+        self._tables[name] = table
+        return table
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SQLError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list:
+        return sorted(self._tables)
+
+    def create_index(
+        self, table_name: str, index_name: str, distance: str = "dtw"
+    ) -> DITAEngine:
+        """Build (or rebuild) the trie index for a table."""
+        table = self.get(table_name)
+        table.engine = DITAEngine(table.dataset, self.config, distance=distance)
+        table.index_name = index_name
+        return table.engine
+
+    def engine_for(self, table_name: str, distance: str = "dtw") -> DITAEngine:
+        """The table's index, built lazily when missing or when the indexed
+        distance family differs from the requested one."""
+        table = self.get(table_name)
+        if table.engine is None or table.engine.adapter.distance_name != distance:
+            table.engine = DITAEngine(table.dataset, self.config, distance=distance)
+            table.index_name = table.index_name or f"_auto_{table_name}"
+        return table.engine

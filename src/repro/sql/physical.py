@@ -1,0 +1,287 @@
+"""Physical operators.
+
+Rows are plain dicts.  A search over table ``t`` yields rows with keys
+``{binding}.traj_id``, ``{binding}.trajectory``, ``distance``; a TRA-JOIN
+yields both sides' keys plus ``distance``.  Expression evaluation resolves
+``ColumnRef`` against those keys (``t.traj_id`` or bare ``traj_id`` when
+unambiguous).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.engine import DITAEngine
+from ..distances.base import get_distance
+from ..trajectory.trajectory import Trajectory, TrajectoryDataset
+from .ast import (
+    BinaryOp,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FunctionCall,
+    Literal,
+    NotOp,
+    Param,
+    TrajectoryLiteral,
+)
+from .tokens import SQLError
+
+Row = Dict[str, object]
+
+
+# --------------------------------------------------------------------- #
+# expression evaluation over rows
+# --------------------------------------------------------------------- #
+
+
+def eval_expr(expr: Expr, row: Row, params: Dict[str, object]) -> object:
+    """Evaluate an expression against one row."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Param):
+        if expr.name not in params:
+            raise SQLError(f"unbound parameter :{expr.name}")
+        return params[expr.name]
+    if isinstance(expr, TrajectoryLiteral):
+        import numpy as np
+
+        return Trajectory(-1, np.asarray(expr.points, dtype=np.float64))
+    if isinstance(expr, ColumnRef):
+        key = f"{expr.table}.{expr.name}" if expr.table else expr.name
+        if key in row:
+            return row[key]
+        if expr.table is None:
+            # bare column: unique suffix match
+            hits = [k for k in row if k == expr.name or k.endswith("." + expr.name)]
+            if len(hits) == 1:
+                return row[hits[0]]
+            if len(hits) > 1:
+                raise SQLError(f"ambiguous column {expr.name!r}: {sorted(hits)}")
+        raise SQLError(f"unknown column {key!r}; row has {sorted(row)}")
+    if isinstance(expr, BinaryOp):
+        left = eval_expr(expr.left, row, params)
+        right = eval_expr(expr.right, row, params)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise SQLError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Comparison):
+        left = eval_expr(expr.left, row, params)
+        right = eval_expr(expr.right, row, params)
+        return {
+            "<=": lambda: left <= right,
+            "<": lambda: left < right,
+            ">=": lambda: left >= right,
+            ">": lambda: left > right,
+            "=": lambda: left == right,
+            "!=": lambda: left != right,
+        }[expr.op]()
+    if isinstance(expr, BoolOp):
+        left = bool(eval_expr(expr.left, row, params))
+        if expr.op == "and":
+            return left and bool(eval_expr(expr.right, row, params))
+        return left or bool(eval_expr(expr.right, row, params))
+    if isinstance(expr, NotOp):
+        return not bool(eval_expr(expr.operand, row, params))
+    if isinstance(expr, FunctionCall):
+        args = [eval_expr(a, row, params) for a in expr.args]
+        return _eval_function(expr.name, args)
+    raise SQLError(f"cannot evaluate expression {expr!r}")
+
+
+def _eval_function(name: str, args: List[object]) -> object:
+    """Scalar functions usable in residual predicates and projections."""
+    from .optimizer import SIMILARITY_FUNCTIONS
+
+    if name in SIMILARITY_FUNCTIONS:
+        if len(args) != 2:
+            raise SQLError(f"{name} takes two trajectories")
+        t, q = args
+        t_pts = t.points if isinstance(t, Trajectory) else t
+        q_pts = q.points if isinstance(q, Trajectory) else q
+        return get_distance(name).compute(t_pts, q_pts)
+    if name == "length":
+        (t,) = args
+        return len(t) if isinstance(t, Trajectory) else len(t)
+    if name == "abs":
+        (x,) = args
+        return abs(x)
+    raise SQLError(f"unknown function {name!r}")
+
+
+def expr_name(expr: Expr, index: int) -> str:
+    """Output column name for a projection item."""
+    if isinstance(expr, ColumnRef):
+        return f"{expr.table}.{expr.name}" if expr.table else expr.name
+    if isinstance(expr, FunctionCall):
+        return expr.name
+    return f"col{index}"
+
+
+# --------------------------------------------------------------------- #
+# physical operators
+# --------------------------------------------------------------------- #
+
+
+class PhysicalOperator:
+    """Base operator: ``execute`` yields a list of rows."""
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        raise NotImplementedError
+
+
+class FullScan(PhysicalOperator):
+    """Unindexed scan of a table."""
+
+    def __init__(self, dataset: TrajectoryDataset, binding: str) -> None:
+        self.dataset = dataset
+        self.binding = binding
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        b = self.binding
+        return [
+            {f"{b}.traj_id": t.traj_id, f"{b}.trajectory": t}
+            for t in self.dataset
+        ]
+
+
+class IndexSearch(PhysicalOperator):
+    """Trie-index-backed similarity search (the DITA fast path)."""
+
+    def __init__(self, engine: DITAEngine, binding: str, query: Trajectory, tau: float) -> None:
+        self.engine = engine
+        self.binding = binding
+        self.query = query
+        self.tau = tau
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        b = self.binding
+        return [
+            {f"{b}.traj_id": t.traj_id, f"{b}.trajectory": t, "distance": d}
+            for t, d in self.engine.search(self.query, self.tau)
+        ]
+
+
+class KnnScan(PhysicalOperator):
+    """Index-backed exact kNN (serves ORDER BY f(t, :q) LIMIT k)."""
+
+    def __init__(self, engine: DITAEngine, binding: str, query: Trajectory, k: int) -> None:
+        self.engine = engine
+        self.binding = binding
+        self.query = query
+        self.k = k
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        from ..core.knn import knn_search
+
+        b = self.binding
+        return [
+            {f"{b}.traj_id": t.traj_id, f"{b}.trajectory": t, "distance": d}
+            for t, d in knn_search(self.engine, self.query, self.k)
+        ]
+
+
+class IndexJoin(PhysicalOperator):
+    """Trie-index-backed TRA-JOIN."""
+
+    def __init__(
+        self,
+        left_engine: DITAEngine,
+        right_engine: DITAEngine,
+        left_binding: str,
+        right_binding: str,
+        tau: float,
+    ) -> None:
+        self.left_engine = left_engine
+        self.right_engine = right_engine
+        self.left_binding = left_binding
+        self.right_binding = right_binding
+        self.tau = tau
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        lb, rb = self.left_binding, self.right_binding
+        left_ds = {t.traj_id: t for p in self.left_engine.partitions.values() for t in p}
+        right_ds = {t.traj_id: t for p in self.right_engine.partitions.values() for t in p}
+        rows: List[Row] = []
+        for a, b, d in self.left_engine.join(self.right_engine, self.tau):
+            rows.append(
+                {
+                    f"{lb}.traj_id": a,
+                    f"{lb}.trajectory": left_ds[a],
+                    f"{rb}.traj_id": b,
+                    f"{rb}.trajectory": right_ds[b],
+                    "distance": d,
+                }
+            )
+        return rows
+
+
+class FilterOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        return [
+            row for row in self.child.execute(params)
+            if bool(eval_expr(self.predicate, row, params))
+        ]
+
+
+def _is_count_star(expr: Expr) -> bool:
+    return (
+        isinstance(expr, FunctionCall)
+        and expr.name == "count"
+        and len(expr.args) == 1
+        and isinstance(expr.args[0], ColumnRef)
+        and expr.args[0].name == "*"
+    )
+
+
+class ProjectOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, items) -> None:
+        self.child = child
+        self.items = tuple(items)
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        rows = self.child.execute(params)
+        if not self.items:
+            return rows
+        if any(_is_count_star(e) for e in self.items):
+            if not all(_is_count_star(e) for e in self.items):
+                raise SQLError("COUNT(*) cannot mix with non-aggregate columns")
+            return [{"count": len(rows)}]
+        out: List[Row] = []
+        for row in rows:
+            out.append(
+                {
+                    expr_name(e, i): eval_expr(e, row, params)
+                    for i, e in enumerate(self.items)
+                }
+            )
+        return out
+
+
+class OrderLimitOp(PhysicalOperator):
+    def __init__(self, child: PhysicalOperator, order_by, limit: Optional[int]) -> None:
+        self.child = child
+        self.order_by = tuple(order_by)
+        self.limit = limit
+
+    def execute(self, params: Dict[str, object]) -> List[Row]:
+        rows = self.child.execute(params)
+        for item in reversed(self.order_by):
+            rows.sort(
+                key=lambda r, e=item.expr: eval_expr(e, r, params),
+                reverse=not item.ascending,
+            )
+        if self.limit is not None:
+            rows = rows[: self.limit]
+        return rows

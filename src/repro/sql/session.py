@@ -1,0 +1,246 @@
+"""The DITA session: SQL front end over the engine (Section 3).
+
+``DITASession`` owns a catalog of trajectory tables, parses/optimizes/
+executes the extended SQL, and exposes the DataFrame API through
+:meth:`table`.
+
+Example::
+
+    session = DITASession()
+    session.register("taxi", dataset)
+    session.sql("CREATE INDEX taxi_idx ON taxi USE TRIE")
+    rows = session.sql(
+        "SELECT * FROM taxi WHERE DTW(taxi, :q) <= 0.005", params={"q": query}
+    )
+    pairs = session.sql(
+        "SELECT a.traj_id, b.traj_id, distance "
+        "FROM taxi a TRA-JOIN taxi b ON DTW(a, b) <= 0.002"
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import DITAConfig
+from ..trajectory.trajectory import TrajectoryDataset
+from .ast import CreateIndex, Expr, Select
+from .catalog import Catalog
+from .logical import (
+    Filter,
+    KnnSearch,
+    LogicalPlan,
+    OrderLimit,
+    Project,
+    Scan,
+    SimilarityJoin,
+    SimilaritySearch,
+    explain as explain_plan,
+)
+from .optimizer import (
+    extract_join_predicate,
+    extract_knn_order,
+    extract_search_predicate,
+    fold_constants,
+    join_conjuncts,
+    referenced_tables,
+    split_conjuncts,
+)
+from .parser import parse
+from .physical import (
+    FilterOp,
+    FullScan,
+    IndexJoin,
+    IndexSearch,
+    KnnScan,
+    OrderLimitOp,
+    PhysicalOperator,
+    ProjectOp,
+    Row,
+)
+from .tokens import SQLError
+
+
+class DITASession:
+    """SQL and DataFrame entry point."""
+
+    def __init__(self, config: Optional[DITAConfig] = None) -> None:
+        self.config = config or DITAConfig()
+        self.catalog = Catalog(self.config)
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str, dataset: TrajectoryDataset) -> None:
+        """Register an in-memory dataset as a table."""
+        self.catalog.register(name, dataset)
+
+    def table(self, name: str) -> "TrajectoryFrame":
+        """DataFrame handle for a registered table."""
+        from .dataframe import TrajectoryFrame
+
+        self.catalog.get(name)  # raise early for unknown tables
+        return TrajectoryFrame(self, name)
+
+    # ------------------------------------------------------------------ #
+    # SQL execution
+    # ------------------------------------------------------------------ #
+
+    def sql(self, text: str, params: Optional[Dict[str, object]] = None) -> List[Row]:
+        """Parse, plan and execute one statement; returns result rows
+        (empty for DDL)."""
+        params = params or {}
+        stmt = parse(text)
+        if isinstance(stmt, CreateIndex):
+            self.catalog.create_index(stmt.table, stmt.index_name)
+            return []
+        logical = self.plan(stmt, params)
+        physical = self.to_physical(logical, params)
+        return physical.execute(params)
+
+    def explain(self, text: str, params: Optional[Dict[str, object]] = None) -> str:
+        """The optimized logical plan as text."""
+        params = params or {}
+        stmt = parse(text)
+        if isinstance(stmt, CreateIndex):
+            return f"CreateIndex table={stmt.table} method={stmt.method}"
+        return explain_plan(self.plan(stmt, params))
+
+    # ------------------------------------------------------------------ #
+    # logical planning + optimization
+    # ------------------------------------------------------------------ #
+
+    def plan(self, stmt: Select, params: Dict[str, object]) -> LogicalPlan:
+        where = fold_constants(stmt.where) if stmt.where is not None else None
+        conjuncts = split_conjuncts(where)
+        binding = stmt.table.binding
+        plan: LogicalPlan
+        if stmt.join_table is not None:
+            if stmt.join_condition is None:
+                raise SQLError("TRA-JOIN requires an ON condition")
+            on = fold_constants(stmt.join_condition)
+            on_conjuncts = split_conjuncts(on)
+            right_binding = stmt.join_table.binding
+            sim: Optional[Tuple[str, float, bool]] = None
+            residual: List[Expr] = []
+            for c in on_conjuncts:
+                if sim is None:
+                    match = extract_join_predicate(c, binding, right_binding, params)
+                    if match is not None:
+                        sim = match
+                        continue
+                residual.append(c)
+            if sim is None:
+                raise SQLError(
+                    "TRA-JOIN ON must contain a similarity predicate "
+                    "f(left, right) <= tau"
+                )
+            func, tau, swapped = sim
+            left_scan = Scan(stmt.table.name, binding)
+            right_scan = Scan(stmt.join_table.name, right_binding)
+            if swapped:
+                left_scan, right_scan = right_scan, left_scan
+            # predicate pushdown: single-side WHERE conjuncts move below the
+            # join residual (evaluated first against the smaller row set)
+            pushed: List[Expr] = []
+            kept: List[Expr] = []
+            for c in conjuncts:
+                refs = referenced_tables(c)
+                if refs and refs <= {binding} or refs and refs <= {right_binding}:
+                    pushed.append(c)
+                else:
+                    kept.append(c)
+            plan = SimilarityJoin(
+                left=left_scan,
+                right=right_scan,
+                function=func,
+                tau=tau,
+                residual=join_conjuncts(residual + pushed),
+            )
+            remaining = join_conjuncts(kept)
+            if remaining is not None:
+                plan = Filter(plan, remaining)
+        else:
+            sim_search = None
+            residual = []
+            for c in conjuncts:
+                if sim_search is None:
+                    match = extract_search_predicate(c, binding, params)
+                    if match is not None:
+                        sim_search = match
+                        continue
+                residual.append(c)
+            if sim_search is not None:
+                func, query, tau = sim_search
+                plan = SimilaritySearch(
+                    table=stmt.table.name,
+                    binding=binding,
+                    function=func,
+                    query=query,
+                    tau=tau,
+                    residual=join_conjuncts(residual),
+                )
+            else:
+                # kNN rewrite: ORDER BY f(t, :q) LIMIT k over a bare scan
+                # (with only residual filters) becomes an index kNN scan
+                knn = extract_knn_order(stmt.order_by, stmt.limit, binding, params)
+                if knn is not None:
+                    func, query, k = knn
+                    remaining = join_conjuncts(residual)
+                    if remaining is None:
+                        return Project(
+                            KnnSearch(
+                                table=stmt.table.name,
+                                binding=binding,
+                                function=func,
+                                query=query,
+                                k=k,
+                            ),
+                            stmt.items,
+                        )
+                plan = Scan(stmt.table.name, binding)
+                remaining = join_conjuncts(residual)
+                if remaining is not None:
+                    plan = Filter(plan, remaining)
+        if stmt.order_by or stmt.limit is not None:
+            plan = OrderLimit(plan, stmt.order_by, stmt.limit)
+        return Project(plan, stmt.items)
+
+    # ------------------------------------------------------------------ #
+    # physical planning
+    # ------------------------------------------------------------------ #
+
+    def to_physical(self, plan: LogicalPlan, params: Dict[str, object]) -> PhysicalOperator:
+        if isinstance(plan, Project):
+            return ProjectOp(self.to_physical(plan.child, params), plan.items)
+        if isinstance(plan, OrderLimit):
+            return OrderLimitOp(self.to_physical(plan.child, params), plan.order_by, plan.limit)
+        if isinstance(plan, Filter):
+            return FilterOp(self.to_physical(plan.child, params), plan.predicate)
+        if isinstance(plan, Scan):
+            return FullScan(self.catalog.get(plan.table).dataset, plan.binding)
+        if isinstance(plan, KnnSearch):
+            engine = self.catalog.engine_for(plan.table, plan.function)
+            op = KnnScan(engine, plan.binding, plan.query, plan.k)
+            if plan.residual is not None:
+                op = FilterOp(op, plan.residual)
+            return op
+        if isinstance(plan, SimilaritySearch):
+            engine = self.catalog.engine_for(plan.table, plan.function)
+            op: PhysicalOperator = IndexSearch(engine, plan.binding, plan.query, plan.tau)
+            if plan.residual is not None:
+                op = FilterOp(op, plan.residual)
+            return op
+        if isinstance(plan, SimilarityJoin):
+            if not isinstance(plan.left, Scan) or not isinstance(plan.right, Scan):
+                raise SQLError("TRA-JOIN inputs must be base tables")
+            left_engine = self.catalog.engine_for(plan.left.table, plan.function)
+            right_engine = self.catalog.engine_for(plan.right.table, plan.function)
+            op = IndexJoin(
+                left_engine, right_engine, plan.left.binding, plan.right.binding, plan.tau
+            )
+            if plan.residual is not None:
+                op = FilterOp(op, plan.residual)
+            return op
+        raise SQLError(f"no physical plan for {type(plan).__name__}")

@@ -1,0 +1,89 @@
+"""Token definitions for the extended SQL dialect (Section 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical categories; keywords get their own type for parser clarity."""
+
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    PARAM = auto()        # :name — bound at execution time
+    COMMA = auto()
+    DOT = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    STAR = auto()
+    PLUS = auto()
+    MINUS = auto()
+    SLASH = auto()
+    LE = auto()
+    LT = auto()
+    GE = auto()
+    GT = auto()
+    EQ = auto()
+    NE = auto()
+    # keywords
+    SELECT = auto()
+    FROM = auto()
+    WHERE = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+    ON = auto()
+    AS = auto()
+    CREATE = auto()
+    INDEX = auto()
+    USE = auto()
+    TRIE = auto()
+    TRA_JOIN = auto()
+    LIMIT = auto()
+    ORDER = auto()
+    BY = auto()
+    ASC = auto()
+    DESC = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "select": TokenType.SELECT,
+    "from": TokenType.FROM,
+    "where": TokenType.WHERE,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "on": TokenType.ON,
+    "as": TokenType.AS,
+    "create": TokenType.CREATE,
+    "index": TokenType.INDEX,
+    "use": TokenType.USE,
+    "trie": TokenType.TRIE,
+    "tra-join": TokenType.TRA_JOIN,
+    "limit": TokenType.LIMIT,
+    "order": TokenType.ORDER,
+    "by": TokenType.BY,
+    "asc": TokenType.ASC,
+    "desc": TokenType.DESC,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}@{self.pos})"
+
+
+class SQLError(Exception):
+    """Raised for lexical, syntactic or planning errors with position info."""

@@ -1,0 +1,81 @@
+"""Dataset serialization: CSV and JSON-lines formats.
+
+CSV format (one point per row)::
+
+    traj_id,seq,x,y[,z...]
+
+JSON-lines format (one trajectory per line)::
+
+    {"traj_id": 7, "points": [[x, y], [x, y], ...]}
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .trajectory import Trajectory, TrajectoryDataset
+
+PathLike = Union[str, Path]
+
+
+def save_csv(dataset: TrajectoryDataset, path: PathLike) -> None:
+    """Write the dataset as a flat point-per-row CSV with header."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        ndim = dataset[0].ndim if len(dataset) else 2
+        writer.writerow(["traj_id", "seq"] + [f"c{i}" for i in range(ndim)])
+        for traj in dataset:
+            for seq, point in enumerate(traj.points):
+                writer.writerow([traj.traj_id, seq] + [repr(float(v)) for v in point])
+
+
+def load_csv(path: PathLike) -> TrajectoryDataset:
+    """Read a point-per-row CSV produced by :func:`save_csv`."""
+    path = Path(path)
+    rows: Dict[int, List[tuple]] = defaultdict(list)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if header is None:
+            return TrajectoryDataset([])
+        for row in reader:
+            traj_id = int(row[0])
+            seq = int(row[1])
+            coords = tuple(float(v) for v in row[2:])
+            rows[traj_id].append((seq, coords))
+    trajs = []
+    for traj_id in sorted(rows):
+        pts = [c for _, c in sorted(rows[traj_id], key=lambda x: x[0])]
+        trajs.append(Trajectory(traj_id, np.asarray(pts)))
+    return TrajectoryDataset(trajs)
+
+
+def save_jsonl(dataset: TrajectoryDataset, path: PathLike) -> None:
+    """Write the dataset as JSON lines, one trajectory per line."""
+    path = Path(path)
+    with path.open("w") as f:
+        for traj in dataset:
+            record = {"traj_id": traj.traj_id, "points": traj.points.tolist()}
+            f.write(json.dumps(record))
+            f.write("\n")
+
+
+def load_jsonl(path: PathLike) -> TrajectoryDataset:
+    """Read a JSON-lines file produced by :func:`save_jsonl`."""
+    path = Path(path)
+    trajs = []
+    with path.open() as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            trajs.append(Trajectory(int(record["traj_id"]), np.asarray(record["points"])))
+    return TrajectoryDataset(trajs)

@@ -1,0 +1,62 @@
+"""Trajectory simplification (Douglas-Peucker).
+
+The paper cites trajectory simplification [28-30] as adjacent work; we ship
+an error-bounded Douglas-Peucker implementation as an extension so users can
+down-sample long traces (e.g. the OSM-style traces of Section 7.3) before
+indexing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .trajectory import Trajectory
+
+
+def _point_segment_distance(p: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    """Perpendicular distance from ``p`` to segment ``ab``."""
+    ab = b - a
+    denom = float(np.dot(ab, ab))
+    if denom == 0.0:
+        return float(np.linalg.norm(p - a))
+    t = float(np.dot(p - a, ab)) / denom
+    t = max(0.0, min(1.0, t))
+    proj = a + t * ab
+    return float(np.linalg.norm(p - proj))
+
+
+def douglas_peucker(points: np.ndarray, epsilon: float) -> np.ndarray:
+    """Simplify a polyline with the classic Douglas-Peucker algorithm.
+
+    Guarantees that every dropped point is within ``epsilon`` of the
+    simplified polyline.  Returns the retained points in original order
+    (always includes the endpoints).
+    """
+    mat = np.asarray(points, dtype=np.float64)
+    n = mat.shape[0]
+    if n <= 2 or epsilon <= 0:
+        return mat.copy()
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[n - 1] = True
+    # iterative stack to avoid recursion limits on long traces
+    stack: List[tuple] = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi <= lo + 1:
+            continue
+        seg_a, seg_b = mat[lo], mat[hi]
+        dists = [_point_segment_distance(mat[i], seg_a, seg_b) for i in range(lo + 1, hi)]
+        idx = int(np.argmax(dists))
+        if dists[idx] > epsilon:
+            split = lo + 1 + idx
+            keep[split] = True
+            stack.append((lo, split))
+            stack.append((split, hi))
+    return mat[keep]
+
+
+def simplify(traj: Trajectory, epsilon: float) -> Trajectory:
+    """Douglas-Peucker-simplified copy of ``traj`` (same id)."""
+    return Trajectory(traj.traj_id, douglas_peucker(traj.points, epsilon))

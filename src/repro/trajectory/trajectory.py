@@ -1,0 +1,151 @@
+"""The ``Trajectory`` type and the ``TrajectoryDataset`` container.
+
+A trajectory (Definition 2.1) is a sequence of d-dimensional points produced
+by a moving object.  We store the points as an immutable ``(n, d)`` float64
+numpy array; the paper's examples and our defaults are 2-d
+``(latitude, longitude)`` but every algorithm works for d >= 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.mbr import MBR
+
+
+class Trajectory:
+    """An immutable trajectory with an integer id.
+
+    The raw points are exposed as ``.points`` (a read-only numpy view); all
+    index structures key trajectories by ``.traj_id``.
+    """
+
+    __slots__ = ("traj_id", "points", "_mbr")
+
+    def __init__(self, traj_id: int, points: Sequence) -> None:
+        mat = np.asarray(points, dtype=np.float64)
+        if mat.ndim == 1:
+            mat = mat[None, :]
+        if mat.ndim != 2 or mat.shape[0] == 0:
+            raise ValueError("a trajectory needs at least one d-dimensional point")
+        mat = np.ascontiguousarray(mat)
+        mat.setflags(write=False)
+        self.traj_id = int(traj_id)
+        self.points = mat
+        self._mbr: Optional[MBR] = None
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def ndim(self) -> int:
+        return int(self.points.shape[1])
+
+    @property
+    def first(self) -> np.ndarray:
+        return self.points[0]
+
+    @property
+    def last(self) -> np.ndarray:
+        return self.points[-1]
+
+    @property
+    def mbr(self) -> MBR:
+        """The MBR covering the whole trajectory (cached; used by Lemma 5.4)."""
+        if self._mbr is None:
+            self._mbr = MBR.of_points(self.points)
+        return self._mbr
+
+    def prefix(self, j: int) -> "Trajectory":
+        """``T^j``: the prefix up to (and including) the j-th point, 1-based."""
+        if not 1 <= j <= len(self):
+            raise IndexError(f"prefix length {j} out of range 1..{len(self)}")
+        return Trajectory(self.traj_id, self.points[:j])
+
+    def reversed(self) -> "Trajectory":
+        """The trajectory traversed backwards (used by double-direction DTW)."""
+        return Trajectory(self.traj_id, self.points[::-1])
+
+    def length_travelled(self) -> float:
+        """Total path length (sum of consecutive point distances)."""
+        if len(self) < 2:
+            return 0.0
+        diffs = np.diff(self.points, axis=0)
+        return float(np.sum(np.sqrt(np.sum(diffs * diffs, axis=1))))
+
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the raw points, for cost accounting."""
+        return int(self.points.nbytes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self.traj_id == other.traj_id and np.array_equal(self.points, other.points)
+
+    def __hash__(self) -> int:
+        return hash((self.traj_id, self.points.shape, self.points.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Trajectory(id={self.traj_id}, n={len(self)}, d={self.ndim})"
+
+
+class TrajectoryDataset:
+    """An in-memory collection of trajectories with id lookup.
+
+    Datasets are the unit handed to index builders and to the cluster
+    simulator's partitioners.
+    """
+
+    def __init__(self, trajectories: Iterable[Trajectory]) -> None:
+        self._trajs: List[Trajectory] = list(trajectories)
+        self._by_id = {t.traj_id: t for t in self._trajs}
+        if len(self._by_id) != len(self._trajs):
+            raise ValueError("duplicate trajectory ids in dataset")
+
+    def __len__(self) -> int:
+        return len(self._trajs)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._trajs)
+
+    def __getitem__(self, idx: int) -> Trajectory:
+        return self._trajs[idx]
+
+    def by_id(self, traj_id: int) -> Trajectory:
+        return self._by_id[traj_id]
+
+    def __contains__(self, traj_id: int) -> bool:
+        return traj_id in self._by_id
+
+    @property
+    def ids(self) -> List[int]:
+        return [t.traj_id for t in self._trajs]
+
+    def sample(self, fraction: float, seed: int = 0) -> "TrajectoryDataset":
+        """A deterministic random sample of ``fraction`` of the dataset."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return TrajectoryDataset(self._trajs)
+        rng = np.random.default_rng(seed)
+        n = max(1, int(round(len(self._trajs) * fraction)))
+        idx = rng.choice(len(self._trajs), size=n, replace=False)
+        return TrajectoryDataset(self._trajs[i] for i in sorted(idx.tolist()))
+
+    def first_points(self) -> np.ndarray:
+        """(n, d) array of first points, the global-partitioning key."""
+        return np.asarray([t.first for t in self._trajs])
+
+    def last_points(self) -> np.ndarray:
+        """(n, d) array of last points."""
+        return np.asarray([t.last for t in self._trajs])
+
+    def nbytes(self) -> int:
+        return sum(t.nbytes() for t in self._trajs)
+
+    def __repr__(self) -> str:
+        return f"TrajectoryDataset(n={len(self)})"

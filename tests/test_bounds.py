@@ -1,0 +1,133 @@
+"""Property tests for the DTW lower bounds (Lemmas 4.1, 4.3, 5.1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import amd, mbr_accumulated_min_dist, opamd, pamd
+from repro.core.pivots import pivot_indices
+from repro.distances.dtw import dtw
+from repro.geometry.mbr import MBR
+
+coords = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def trajectories(draw, min_len=1, max_len=12):
+    n = draw(st.integers(min_len, max_len))
+    return np.asarray([[draw(coords), draw(coords)] for _ in range(n)])
+
+
+T1 = np.array([(1, 1), (1, 2), (3, 2), (4, 4), (4, 5), (5, 5)], float)
+T3 = np.array([(1, 1), (4, 1), (4, 3), (4, 5), (4, 6), (5, 6)], float)
+
+
+class TestAMD:
+    def test_lemma_4_1(self):
+        """AMD <= DTW so AMD > tau proves dissimilarity."""
+        assert amd(T1, T3) <= dtw(T1, T3) + 1e-9
+
+    @settings(max_examples=100)
+    @given(trajectories(), trajectories())
+    def test_amd_lower_bounds_dtw(self, t, q):
+        assert amd(t, q) <= dtw(t, q) + 1e-6
+
+    def test_single_point(self):
+        t = np.array([(0, 0)], float)
+        q = np.array([(3, 4)], float)
+        assert amd(t, q) == pytest.approx(5.0)
+
+
+class TestPAMD:
+    def test_paper_example_4_4(self):
+        """PAMD(T1, T3) = 3.41 with neighbor pivots (3,2), (4,4)."""
+        idx = pivot_indices(T1, 2, "neighbor")
+        assert pamd(T1, T3, idx) == pytest.approx(3.41, abs=0.01)
+
+    def test_pamd_prunes_example(self):
+        """Example 4.4: PAMD = 3.41 > tau = 3 so T1, T3 dissimilar."""
+        idx = pivot_indices(T1, 2, "neighbor")
+        assert pamd(T1, T3, idx) > 3.0
+
+    @settings(max_examples=100)
+    @given(trajectories(min_len=3), trajectories(), st.integers(1, 4))
+    def test_chain_pamd_amd_dtw(self, t, q, k):
+        """Lemma 4.3 chain: PAMD <= AMD <= DTW."""
+        idx = pivot_indices(t, k, "neighbor")
+        p = pamd(t, q, idx)
+        a = amd(t, q)
+        assert p <= a + 1e-6
+        assert a <= dtw(t, q) + 1e-6
+
+    def test_no_pivots_endpoint_bound(self):
+        assert pamd(T1, T3, []) == pytest.approx(
+            float(np.linalg.norm(T1[0] - T3[0])) + float(np.linalg.norm(T1[-1] - T3[-1]))
+        )
+
+    def test_non_interior_pivot_rejected(self):
+        with pytest.raises(ValueError):
+            pamd(T1, T3, [0])
+        with pytest.raises(ValueError):
+            pamd(T1, T3, [5])
+
+
+class TestOPAMD:
+    @settings(max_examples=120)
+    @given(trajectories(min_len=3), trajectories(), st.integers(1, 4), st.floats(0.1, 60))
+    def test_conditional_soundness(self, t, q, k, tau):
+        """Lemma 5.1: whenever DTW <= tau, OPAMD <= DTW — so OPAMD > tau
+        never prunes a true answer."""
+        idx = pivot_indices(t, k, "neighbor")
+        d = dtw(t, q)
+        o = opamd(t, q, idx, tau)
+        if d <= tau:
+            assert o <= d + 1e-6
+
+    @settings(max_examples=80)
+    @given(trajectories(min_len=3), trajectories(), st.integers(1, 4), st.floats(0.1, 60))
+    def test_at_least_pamd(self, t, q, k, tau):
+        """Suffix restriction can only tighten: OPAMD >= PAMD — except when
+        the endpoint base cost alone exceeds tau, where OPAMD returns early
+        (the pair is pruned either way)."""
+        idx = pivot_indices(t, k, "neighbor")
+        base = float(np.linalg.norm(t[0] - q[0])) + float(np.linalg.norm(t[-1] - q[-1]))
+        o = opamd(t, q, idx, tau)
+        if base > tau:
+            assert o > tau  # still prunes
+        else:
+            assert o >= pamd(t, q, idx) - 1e-9 or o == math.inf
+
+    def test_inf_when_pivot_unreachable(self):
+        t = np.array([(0, 0), (100, 100), (0.1, 0.1)], float)
+        q = np.array([(0, 0), (0.1, 0.1)], float)
+        # endpoints align closely but the pivot (100,100) is far from all
+        # of Q, so similarity within tau = 1 is impossible
+        assert opamd(t, q, [1], 1.0) == math.inf
+
+
+class TestMBRAccumulated:
+    def test_basic(self):
+        q = np.array([(0, 0), (5, 5)], float)
+        align = [MBR((0, 0), (1, 1)), MBR((4, 4), (6, 6))]
+        pivots = [MBR((10, 10), (11, 11))]
+        v = mbr_accumulated_min_dist(q, align, pivots)
+        # q1 inside first MBR, qn inside last MBR; pivot MBR ~ dist from (5,5)
+        assert v == pytest.approx(math.sqrt(50), abs=1e-6)
+
+    def test_requires_two_align(self):
+        q = np.array([(0, 0)], float)
+        with pytest.raises(ValueError):
+            mbr_accumulated_min_dist(q, [MBR((0, 0), (1, 1))], [])
+
+    @settings(max_examples=60)
+    @given(trajectories(min_len=3, max_len=8), trajectories(min_len=1, max_len=8))
+    def test_mbr_version_no_tighter_than_point_version(self, t, q):
+        """Grouping by MBRs only loosens the bound: MBR-AMD <= PAMD."""
+        idx = pivot_indices(t, 2, "neighbor")
+        align = [MBR.of_point(t[0]), MBR.of_point(t[-1])]
+        pivots = [MBR.of_point(t[i]) for i in idx]
+        mbr_bound = mbr_accumulated_min_dist(q, align, pivots)
+        assert mbr_bound <= pamd(t, q, idx) + 1e-9

@@ -1,0 +1,135 @@
+"""Tests for the kNN classifier and the GeoLife PLT loader."""
+
+import numpy as np
+import pytest
+
+from repro import DITAConfig
+from repro.analytics import KNNTrajectoryClassifier
+from repro.datagen import citywide_dataset
+from repro.trajectory import Trajectory, load_plt, load_plt_directory
+
+
+@pytest.fixture(scope="module")
+def labelled():
+    """Two classes of trips from two disjoint sub-cities."""
+    a = citywide_dataset(40, seed=11, duplication=4)
+    b = citywide_dataset(40, seed=12, duplication=4)
+    trajs, labels = [], []
+    for t in a:
+        trajs.append(Trajectory(t.traj_id, t.points))
+        labels.append("north")
+    for t in b:
+        trajs.append(Trajectory(1000 + t.traj_id, t.points + 1.0))  # shift away
+        labels.append("south")
+    return trajs, labels
+
+
+@pytest.fixture(scope="module")
+def clf(labelled):
+    trajs, labels = labelled
+    cfg = DITAConfig(num_global_partitions=2, trie_fanout=4, num_pivots=3)
+    return KNNTrajectoryClassifier(k=3, config=cfg).fit(trajs, labels)
+
+
+class TestClassifier:
+    def test_training_points_classified_correctly(self, clf, labelled):
+        trajs, labels = labelled
+        assert clf.score(trajs[:10], labels[:10]) == 1.0
+        assert clf.score(trajs[-10:], labels[-10:]) == 1.0
+
+    def test_perturbed_queries(self, clf, labelled):
+        trajs, labels = labelled
+        rng = np.random.default_rng(5)
+        queries = [Trajectory(-1, t.points + rng.normal(0, 1e-5, t.points.shape)) for t in trajs[:5]]
+        assert clf.predict_many(queries) == labels[:5]
+
+    def test_predict_proba_sums_to_one(self, clf, labelled):
+        trajs, _ = labelled
+        proba = clf.predict_proba(trajs[0])
+        assert sum(proba.values()) == pytest.approx(1.0)
+        assert proba["north"] > 0.5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNTrajectoryClassifier().predict(Trajectory(0, [(0, 0)]))
+
+    def test_validation(self, labelled):
+        trajs, labels = labelled
+        with pytest.raises(ValueError):
+            KNNTrajectoryClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNTrajectoryClassifier().fit(trajs, labels[:-1])
+        with pytest.raises(ValueError):
+            KNNTrajectoryClassifier().fit([], [])
+
+
+PLT_HEADER = (
+    "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n"
+    "0,2,255,My Track,0,0,2,8421376\n0\n"
+)
+
+
+def _write_plt(path, rows):
+    path.write_text(PLT_HEADER + "".join(rows))
+
+
+class TestPLTLoader:
+    def test_load_single_file(self, tmp_path):
+        f = tmp_path / "a.plt"
+        _write_plt(f, [
+            "39.906631,116.385564,0,492,39745.1,2008-10-24,02:09:59\n",
+            "39.906700,116.385600,0,492,39745.1,2008-10-24,02:10:04\n",
+        ])
+        t = load_plt(f, traj_id=9)
+        assert t.traj_id == 9
+        assert len(t) == 2
+        assert t.points[0].tolist() == [39.906631, 116.385564]
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        f = tmp_path / "b.plt"
+        _write_plt(f, [
+            "39.9,116.3,0,492,39745.1,2008-10-24,02:09:59\n",
+            "garbage line\n",
+            "not,a-number,0,0,0,x,y\n",
+            "40.0,116.4,0,492,39745.1,2008-10-24,02:10:04\n",
+        ])
+        assert len(load_plt(f)) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        f = tmp_path / "c.plt"
+        f.write_text(PLT_HEADER)
+        with pytest.raises(ValueError):
+            load_plt(f)
+
+    def test_max_points(self, tmp_path):
+        f = tmp_path / "d.plt"
+        _write_plt(f, [f"39.{i},116.{i},0,0,0,d,t\n" for i in range(10)])
+        assert len(load_plt(f, max_points=4)) == 4
+
+    def test_directory_walk(self, tmp_path):
+        (tmp_path / "u1").mkdir()
+        (tmp_path / "u2").mkdir()
+        _write_plt(tmp_path / "u1" / "a.plt", ["39.1,116.1,0,0,0,d,t\n", "39.2,116.2,0,0,0,d,t\n"])
+        _write_plt(tmp_path / "u2" / "b.plt", ["40.1,117.1,0,0,0,d,t\n", "40.2,117.2,0,0,0,d,t\n"])
+        _write_plt(tmp_path / "u2" / "tiny.plt", ["40.1,117.1,0,0,0,d,t\n"])  # below min
+        ds = load_plt_directory(tmp_path)
+        assert len(ds) == 2
+        assert ds.ids == [0, 1]
+
+    def test_directory_limits(self, tmp_path):
+        for i in range(5):
+            _write_plt(tmp_path / f"{i}.plt", ["39.1,116.1,0,0,0,d,t\n", "39.2,116.2,0,0,0,d,t\n"])
+        ds = load_plt_directory(tmp_path, max_trajectories=3)
+        assert len(ds) == 3
+
+    def test_feeds_engine(self, tmp_path):
+        from repro import DITAConfig, DITAEngine
+
+        for i in range(6):
+            _write_plt(
+                tmp_path / f"{i}.plt",
+                [f"39.{100 + i + j},116.{100 + i + j},0,0,0,d,t\n" for j in range(5)],
+            )
+        ds = load_plt_directory(tmp_path)
+        engine = DITAEngine(ds, DITAConfig(num_global_partitions=1, num_pivots=2))
+        assert engine.search_ids(ds[0], 0.0) == [0]

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.trajectory import load_jsonl
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "trips.jsonl"
+    assert main(["generate", "--kind", "citywide", "--n", "40", "--seed", "3", "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_dataset(self, dataset_file):
+        ds = load_jsonl(dataset_file)
+        assert len(ds) == 40
+
+    def test_all_kinds(self, tmp_path):
+        for kind in ("beijing", "chengdu", "osm", "random"):
+            out = tmp_path / f"{kind}.jsonl"
+            assert main(["generate", "--kind", kind, "--n", "5", "--out", str(out)]) == 0
+            assert len(load_jsonl(out)) == 5
+
+
+class TestStats:
+    def test_prints(self, dataset_file, capsys):
+        assert main(["stats", str(dataset_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Cardinality" in out and "40" in out
+
+
+class TestSearch:
+    def test_finds_self(self, dataset_file, capsys):
+        code = main(
+            ["search", str(dataset_file), "--query-id", "0", "--tau", "0.001",
+             "--partitions", "2", "--pivots", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trajectories within" in out
+
+    def test_unknown_query_id(self, dataset_file):
+        assert main(["search", str(dataset_file), "--query-id", "999", "--tau", "0.1"]) == 1
+
+
+class TestJoin:
+    def test_runs(self, dataset_file, capsys):
+        code = main(["join", str(dataset_file), "--tau", "0.002", "--partitions", "2"])
+        assert code == 0
+        assert "similar pairs" in capsys.readouterr().out
+
+
+class TestKNN:
+    def test_first_neighbour_is_self(self, dataset_file, capsys):
+        code = main(
+            ["knn", str(dataset_file), "--query-id", "3", "--k", "3", "--partitions", "2"]
+        )
+        assert code == 0
+        first = capsys.readouterr().out.strip().splitlines()[0].split()
+        assert first[0] == "3" and float(first[1]) == 0.0
+
+
+class TestCluster:
+    def test_runs(self, dataset_file, capsys):
+        code = main(
+            ["cluster", str(dataset_file), "--tau", "0.003", "--min-pts", "2",
+             "--partitions", "2"]
+        )
+        assert code == 0
+        assert "clusters" in capsys.readouterr().out

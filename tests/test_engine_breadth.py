@@ -1,0 +1,104 @@
+"""Breadth tests: joins under every distance, and d >= 3 support.
+
+The paper states the method "can be easily extended to support
+multi-dimensional data (e.g., d >= 3)"; these tests pin that claim for the
+full pipeline (partitioning uses the first two axes, all distances and
+bounds are dimension-agnostic).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_join
+from repro import DITAConfig, DITAEngine
+from repro.core.adapters import EDRAdapter, ERPAdapter, LCSSAdapter
+from repro.datagen import citywide_dataset
+from repro.distances import get_distance
+from repro.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def small():
+    return list(citywide_dataset(50, seed=71))
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return DITAConfig(num_global_partitions=2, trie_fanout=3, num_pivots=2, trie_leaf_capacity=3)
+
+
+class TestJoinsAllDistances:
+    def test_edr_join(self, small, cfg):
+        eps = 0.0005
+        engine = DITAEngine(small, cfg, distance=EDRAdapter(epsilon=eps))
+        d = get_distance("edr", epsilon=eps)
+        got = sorted((a, b) for a, b, _ in engine.join(engine, 2))
+        assert got == brute_force_join(small, small, d, 2)
+
+    def test_lcss_join(self, small, cfg):
+        eps, delta = 0.0005, 3
+        engine = DITAEngine(small, cfg, distance=LCSSAdapter(epsilon=eps, delta=delta))
+        d = get_distance("lcss", epsilon=eps, delta=delta)
+        got = sorted((a, b) for a, b, _ in engine.join(engine, 2))
+        assert got == brute_force_join(small, small, d, 2)
+
+    def test_erp_join(self, small, cfg):
+        engine = DITAEngine(small, cfg, distance=ERPAdapter(ndim=2))
+        d = get_distance("erp")
+        got = sorted((a, b) for a, b, _ in engine.join(engine, 0.01))
+        assert got == brute_force_join(small, small, d, 0.01)
+
+
+def _dataset_3d(n=40, seed=5):
+    """Citywide trips lifted to 3-d (e.g. altitude as the third axis)."""
+    rng = np.random.default_rng(seed)
+    base = citywide_dataset(n, seed=seed)
+    out = []
+    for t in base:
+        z = np.cumsum(rng.normal(0, 0.0005, size=(len(t), 1)), axis=0)
+        out.append(Trajectory(t.traj_id, np.hstack([t.points, z])))
+    return out
+
+
+class Test3DSupport:
+    def test_search_3d(self, cfg):
+        data = _dataset_3d()
+        engine = DITAEngine(data, cfg)
+        d = get_distance("dtw")
+        q = data[7]
+        got = engine.search_ids(q, 0.003)
+        want = sorted(t.traj_id for t in data if d.compute(t.points, q.points) <= 0.003)
+        assert got == want
+
+    def test_join_3d(self, cfg):
+        data = _dataset_3d(30)
+        engine = DITAEngine(data, cfg)
+        d = get_distance("dtw")
+        got = sorted((a, b) for a, b, _ in engine.join(engine, 0.002))
+        assert got == brute_force_join(data, data, d, 0.002)
+
+    def test_frechet_3d(self, cfg):
+        data = _dataset_3d(30)
+        engine = DITAEngine(data, cfg, distance="frechet")
+        d = get_distance("frechet")
+        q = data[3]
+        assert engine.search_ids(q, 0.001) == sorted(
+            t.traj_id for t in data if d.compute(t.points, q.points) <= 0.001
+        )
+
+    def test_knn_3d(self, cfg):
+        from repro.core.knn import knn_search
+
+        data = _dataset_3d(30)
+        engine = DITAEngine(data, cfg)
+        d = get_distance("dtw")
+        q = data[11]
+        got = [t.traj_id for t, _ in knn_search(engine, q, 3)]
+        want = [
+            t.traj_id
+            for t, _ in sorted(
+                ((t, d.compute(t.points, q.points)) for t in data),
+                key=lambda m: (m[1], m[0].traj_id),
+            )[:3]
+        ]
+        assert got == want

@@ -1,0 +1,37 @@
+"""Smoke tests: the example scripts run end to end.
+
+Each example asserts its own correctness internally where it matters (the
+streaming example checks exactness against brute force; fleet analytics
+asserts the injected anomalies are found), so a clean exit is meaningful.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "script, marker",
+    [
+        ("quickstart.py", "self-join"),
+        ("sql_analytics.py", "TRA-JOIN"),
+        ("streaming_updates.py", "restored engine answers identically"),
+    ],
+)
+def test_example_runs(script, marker):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert marker in result.stdout

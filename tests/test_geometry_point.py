@@ -1,0 +1,127 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import (
+    angle_at,
+    as_point,
+    centroid,
+    euclidean,
+    pairwise_distances,
+    point_to_points_min,
+    squared_euclidean,
+)
+
+coords = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+points_2d = st.tuples(coords, coords)
+
+
+class TestAsPoint:
+    def test_list_coerces(self):
+        p = as_point([1, 2])
+        assert p.dtype == np.float64
+        assert p.shape == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            as_point([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            as_point([[1, 2], [3, 4]])
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero_distance(self):
+        assert euclidean((1.5, -2.5), (1.5, -2.5)) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean((1, 2), (1, 2, 3))
+
+    def test_3d(self):
+        assert euclidean((0, 0, 0), (1, 2, 2)) == pytest.approx(3.0)
+
+    @given(points_2d, points_2d)
+    def test_symmetry(self, a, b):
+        assert euclidean(a, b) == pytest.approx(euclidean(b, a))
+
+    @given(points_2d, points_2d, points_2d)
+    def test_triangle_inequality(self, a, b, c):
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-9
+
+    @given(points_2d, points_2d)
+    def test_squared_consistent(self, a, b):
+        assert squared_euclidean(a, b) == pytest.approx(euclidean(a, b) ** 2, rel=1e-9, abs=1e-9)
+
+
+class TestPairwiseDistances:
+    def test_matches_paper_table1(self):
+        """The distance matrix of the paper's Table 1 (spot checks)."""
+        t1 = np.array([(1, 1), (1, 2), (3, 2), (4, 4), (4, 5), (5, 5)], float)
+        t3 = np.array([(1, 1), (4, 1), (4, 3), (4, 5), (4, 6), (5, 6)], float)
+        w = pairwise_distances(t1, t3)
+        assert w[0, 0] == pytest.approx(0.0)
+        assert w[0, 1] == pytest.approx(3.0)
+        assert w[2, 1] == pytest.approx(1.41, abs=0.01)
+        assert w[5, 5] == pytest.approx(1.0)
+        assert w[4, 3] == pytest.approx(0.0)
+
+    def test_shape(self):
+        xs = np.zeros((3, 2))
+        ys = np.ones((5, 2))
+        assert pairwise_distances(xs, ys).shape == (3, 5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros(2), np.zeros((2, 2)))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestPointToPointsMin:
+    def test_basic(self):
+        ys = np.array([(0, 0), (10, 10)], float)
+        assert point_to_points_min((1, 0), ys) == pytest.approx(1.0)
+
+    def test_empty_is_inf(self):
+        assert point_to_points_min((0, 0), np.empty((0, 2))) == math.inf
+
+
+class TestCentroid:
+    def test_mean(self):
+        c = centroid([(0, 0), (2, 2)])
+        assert c.tolist() == [1.0, 1.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestAngleAt:
+    def test_right_angle(self):
+        assert angle_at((1, 0), (0, 0), (0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_straight_line(self):
+        assert angle_at((0, 0), (1, 0), (2, 0)) == pytest.approx(math.pi)
+
+    def test_reversal(self):
+        assert angle_at((0, 0), (1, 0), (0, 0)) == pytest.approx(0.0)
+
+    def test_degenerate_is_straight(self):
+        assert angle_at((1, 1), (1, 1), (2, 2)) == pytest.approx(math.pi)
+
+    @given(points_2d, points_2d, points_2d)
+    def test_range(self, a, b, c):
+        angle = angle_at(a, b, c)
+        assert 0.0 <= angle <= math.pi + 1e-12

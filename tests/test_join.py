@@ -1,0 +1,115 @@
+"""End-to-end join correctness and planner behaviour (Section 6)."""
+
+import pytest
+
+from conftest import brute_force_join
+from repro import DITAConfig, DITAEngine
+from repro.core.join import JoinStats
+from repro.datagen import beijing_like, citywide_dataset
+from repro.distances import get_distance
+
+
+@pytest.fixture(scope="module")
+def left():
+    return beijing_like(90, seed=51)
+
+
+@pytest.fixture(scope="module")
+def right():
+    return beijing_like(70, seed=52)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return DITAConfig(num_global_partitions=2, trie_fanout=4, num_pivots=3, trie_leaf_capacity=4)
+
+
+@pytest.fixture(scope="module")
+def left_engine(left, cfg):
+    return DITAEngine(left, cfg)
+
+
+@pytest.fixture(scope="module")
+def right_engine(right, cfg):
+    return DITAEngine(right, cfg)
+
+
+class TestJoinCorrectness:
+    @pytest.mark.parametrize("tau", [0.001, 0.003])
+    def test_matches_brute_force(self, left_engine, right_engine, left, right, tau):
+        d = get_distance("dtw")
+        got = sorted((a, b) for a, b, _ in left_engine.join(right_engine, tau))
+        want = brute_force_join(left, right, d, tau)
+        assert got == want
+
+    def test_self_join_excludes_identity(self, left_engine, left):
+        pairs = left_engine.self_join(0.002)
+        for a, b, _ in pairs:
+            assert a < b
+        d = get_distance("dtw")
+        want = {
+            (x.traj_id, y.traj_id)
+            for i, x in enumerate(left)
+            for y in list(left)[i + 1 :]
+            if d.compute(x.points, y.points) <= 0.002
+        }
+        got = {(a, b) for a, b, _ in pairs}
+        assert got == {(min(a, b), max(a, b)) for a, b in want}
+
+    def test_no_balancing_still_correct(self, left_engine, right_engine, left, right):
+        d = get_distance("dtw")
+        got = sorted(
+            (a, b)
+            for a, b, _ in left_engine.join(
+                right_engine, 0.002, use_orientation=False, use_division=False
+            )
+        )
+        assert got == brute_force_join(left, right, d, 0.002)
+
+    def test_frechet_join(self, cfg):
+        data = citywide_dataset(60, seed=55)
+        engine = DITAEngine(data, cfg, distance="frechet")
+        d = get_distance("frechet")
+        got = sorted((a, b) for a, b, _ in engine.join(engine, 0.001))
+        assert got == brute_force_join(data, data, d, 0.001)
+
+    def test_negative_tau_rejected(self, left_engine, right_engine):
+        with pytest.raises(ValueError):
+            left_engine.join(right_engine, -1)
+
+
+class TestJoinStats:
+    def test_stats_populated(self, left_engine, right_engine):
+        stats = JoinStats()
+        pairs = left_engine.join(right_engine, 0.003, stats=stats)
+        assert stats.plan is not None
+        assert stats.partition_pairs >= 1
+        assert stats.verified_pairs == len(pairs)
+        assert stats.candidate_pairs >= len(pairs)
+        assert stats.bytes_shipped >= 0
+
+    def test_orientation_reduces_or_keeps_tc(self, left_engine, right_engine):
+        from repro.core.join import JoinExecutor
+
+        executor = JoinExecutor(
+            left_engine, right_engine, left_engine.adapter, left_engine.cluster
+        )
+        plan_orient = executor.plan(0.003, use_orientation=True, use_division=False)
+        plan_fixed = executor.plan(0.003, use_orientation=False, use_division=False)
+        assert plan_orient.tc_global <= plan_fixed.tc_global + 1e-9
+
+    def test_division_replicates_only_heavy(self, left_engine, right_engine):
+        from repro.core.join import JoinExecutor
+
+        executor = JoinExecutor(
+            left_engine, right_engine, left_engine.adapter, left_engine.cluster
+        )
+        plan = executor.plan(0.003, use_division=True)
+        if plan.replicas:
+            costs = plan.total_costs
+            import numpy as np
+
+            tc_q = float(np.quantile(sorted(costs.values()), 0.98))
+            for node, r in plan.replicas.items():
+                if r > 1:
+                    assert costs[node] > tc_q

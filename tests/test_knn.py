@@ -1,0 +1,87 @@
+"""Tests for the KNN extension (the paper's future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro import DITAConfig, DITAEngine
+from repro.core.knn import knn_join, knn_search
+from repro.datagen import beijing_like, sample_queries
+from repro.distances import get_distance
+from repro.trajectory import Trajectory
+
+
+@pytest.fixture(scope="module")
+def city():
+    return beijing_like(80, seed=61)
+
+
+@pytest.fixture(scope="module")
+def engine(city):
+    cfg = DITAConfig(num_global_partitions=2, trie_fanout=4, num_pivots=3, trie_leaf_capacity=4)
+    return DITAEngine(city, cfg)
+
+
+def brute_force_knn(data, query, k, distance="dtw"):
+    d = get_distance(distance)
+    scored = sorted(
+        ((t, d.compute(t.points, query.points)) for t in data),
+        key=lambda m: (m[1], m[0].traj_id),
+    )
+    return [(t.traj_id, dist) for t, dist in scored[:k]]
+
+
+class TestKNNSearch:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_brute_force(self, engine, city, k):
+        for q in sample_queries(city, 3, seed=5, perturb=0.0003):
+            got = [(t.traj_id, d) for t, d in knn_search(engine, q, k)]
+            want = brute_force_knn(city, q, k)
+            assert [g[0] for g in got] == [w[0] for w in want]
+            for (gid, gd), (wid, wd) in zip(got, want):
+                assert gd == pytest.approx(wd, abs=1e-9)
+
+    def test_k_larger_than_dataset(self, engine, city):
+        q = sample_queries(city, 1, seed=9)[0]
+        got = knn_search(engine, q, len(city) + 50)
+        assert len(got) == len(city)
+
+    def test_k_one_self(self, engine, city):
+        """An exact dataset member's 1-NN is itself at distance 0."""
+        q = sample_queries(city, 1, seed=11)[0]
+        (t, d) = knn_search(engine, q, 1)[0]
+        assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_k(self, engine, city):
+        q = sample_queries(city, 1, seed=2)[0]
+        with pytest.raises(ValueError):
+            knn_search(engine, q, 0)
+
+    def test_sorted_output(self, engine, city):
+        q = sample_queries(city, 1, seed=13, perturb=0.0005)[0]
+        result = knn_search(engine, q, 7)
+        dists = [d for _, d in result]
+        assert dists == sorted(dists)
+
+    def test_frechet_knn(self, city):
+        cfg = DITAConfig(num_global_partitions=2, trie_fanout=4, num_pivots=3)
+        fe = DITAEngine(city, cfg, distance="frechet")
+        q = sample_queries(city, 1, seed=17, perturb=0.0003)[0]
+        got = [t.traj_id for t, _ in knn_search(fe, q, 4)]
+        want = [tid for tid, _ in brute_force_knn(city, q, 4, "frechet")]
+        assert got == want
+
+
+class TestKNNJoin:
+    def test_matches_per_query_knn(self, engine, city):
+        small_cfg = DITAConfig(num_global_partitions=1, trie_fanout=4, num_pivots=2)
+        right = DITAEngine(list(city)[:10], small_cfg)
+        rows = knn_join(engine, right, 2)
+        assert len(rows) == 10 * 2
+        for q in list(city)[:10]:
+            expected = brute_force_knn(city, q, 2)
+            got = [(a, d) for a, b, d in rows if b == q.traj_id]
+            assert [g[0] for g in got] == [e[0] for e in expected]
+
+    def test_invalid_k(self, engine):
+        with pytest.raises(ValueError):
+            knn_join(engine, engine, 0)

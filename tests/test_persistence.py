@@ -1,0 +1,85 @@
+"""Tests for engine save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro import DITAConfig, DITAEngine
+from repro.core.adapters import EDRAdapter, ERPAdapter, LCSSAdapter
+from repro.core.persistence import load_engine, save_engine
+from repro.datagen import beijing_like, sample_queries
+
+
+@pytest.fixture(scope="module")
+def city():
+    return beijing_like(70, seed=55)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return DITAConfig(num_global_partitions=2, trie_fanout=4, num_pivots=3, trie_leaf_capacity=4)
+
+
+class TestRoundTrip:
+    def test_search_identical(self, city, cfg, tmp_path):
+        engine = DITAEngine(city, cfg)
+        save_engine(engine, tmp_path / "idx")
+        restored = load_engine(tmp_path / "idx")
+        for q in sample_queries(city, 4, seed=2, perturb=0.0003):
+            assert restored.search_ids(q, 0.003) == engine.search_ids(q, 0.003)
+
+    def test_structure_preserved(self, city, cfg, tmp_path):
+        engine = DITAEngine(city, cfg)
+        save_engine(engine, tmp_path / "idx")
+        restored = load_engine(tmp_path / "idx")
+        assert sorted(restored.partitions) == sorted(engine.partitions)
+        for pid in engine.partitions:
+            assert [t.traj_id for t in restored.partitions[pid]] == [
+                t.traj_id for t in engine.partitions[pid]
+            ]
+            assert restored.tries[pid].node_count() == engine.tries[pid].node_count()
+            assert restored.tries[pid].to_dict() == engine.tries[pid].to_dict()
+
+    def test_points_bitwise_equal(self, city, cfg, tmp_path):
+        engine = DITAEngine(city, cfg)
+        save_engine(engine, tmp_path / "idx")
+        restored = load_engine(tmp_path / "idx")
+        by_id = {t.traj_id: t for p in restored.partitions.values() for t in p}
+        for t in city:
+            assert np.array_equal(by_id[t.traj_id].points, t.points)
+
+    def test_join_identical(self, city, cfg, tmp_path):
+        engine = DITAEngine(city, cfg)
+        save_engine(engine, tmp_path / "idx")
+        restored = load_engine(tmp_path / "idx")
+        got = sorted((a, b) for a, b, _ in restored.join(restored, 0.002))
+        want = sorted((a, b) for a, b, _ in engine.join(engine, 0.002))
+        assert got == want
+
+    def test_config_preserved(self, city, cfg, tmp_path):
+        engine = DITAEngine(city, cfg)
+        save_engine(engine, tmp_path / "idx")
+        restored = load_engine(tmp_path / "idx")
+        assert restored.config == cfg
+
+    def test_parameterized_adapters_roundtrip(self, city, cfg, tmp_path):
+        for adapter in (EDRAdapter(epsilon=0.0007), LCSSAdapter(epsilon=0.0004, delta=5), ERPAdapter(gap=(0.1, 0.1))):
+            engine = DITAEngine(city, cfg, distance=adapter)
+            save_engine(engine, tmp_path / adapter.distance_name)
+            restored = load_engine(tmp_path / adapter.distance_name)
+            assert restored.adapter.distance_name == adapter.distance_name
+            if hasattr(adapter, "epsilon"):
+                assert restored.adapter.epsilon == adapter.epsilon
+            if hasattr(adapter, "delta"):
+                assert restored.adapter.delta == adapter.delta
+
+    def test_version_check(self, city, cfg, tmp_path):
+        import json
+
+        engine = DITAEngine(city, cfg)
+        save_engine(engine, tmp_path / "idx")
+        meta_path = (tmp_path / "idx").with_suffix(".json")
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_engine(tmp_path / "idx")

@@ -1,0 +1,132 @@
+"""Tests for pivot selection (Section 4.1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pivots import (
+    available_strategies,
+    first_last_weights,
+    indexing_points,
+    inflection_weights,
+    neighbor_weights,
+    pivot_indices,
+)
+from repro.trajectory import Trajectory
+
+coords = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def point_arrays(draw, min_len=2, max_len=15):
+    n = draw(st.integers(min_len, max_len))
+    return np.asarray([[draw(coords), draw(coords)] for _ in range(n)])
+
+
+T1_POINTS = np.array([(1, 1), (1, 2), (3, 2), (4, 4), (4, 5), (5, 5)], float)
+
+
+class TestWeights:
+    def test_neighbor_weights_values(self):
+        w = neighbor_weights(T1_POINTS)
+        # weight of point i is dist to point i-1; endpoints excluded
+        assert w[0] == -np.inf and w[-1] == -np.inf
+        assert w[1] == pytest.approx(1.0)       # (1,1)->(1,2)
+        assert w[2] == pytest.approx(2.0)       # (1,2)->(3,2)
+
+    def test_inflection_straight_zero(self):
+        pts = np.array([(0, 0), (1, 0), (2, 0), (3, 0)], float)
+        w = inflection_weights(pts)
+        assert w[1] == pytest.approx(0.0, abs=1e-9)
+        assert w[2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_first_last_weights(self):
+        pts = np.array([(0, 0), (10, 0), (1, 0)], float)
+        w = first_last_weights(pts)
+        assert w[1] == pytest.approx(10.0)
+
+
+class TestPivotIndices:
+    def test_paper_neighbor_strategy(self):
+        """Figure 1: T1's pivots under Neighbor Distance are (3,2), (4,4)."""
+        idx = pivot_indices(T1_POINTS, 2, "neighbor")
+        assert [tuple(T1_POINTS[i]) for i in idx] == [(3.0, 2.0), (4.0, 4.0)]
+
+    def test_paper_inflection_strategy(self):
+        """Figure 1: T1's pivots under Inflection Point are (1,2), (4,5)."""
+        idx = pivot_indices(T1_POINTS, 2, "inflection")
+        assert [tuple(T1_POINTS[i]) for i in idx] == [(1.0, 2.0), (4.0, 5.0)]
+
+    def test_paper_first_last_strategy(self):
+        """Figure 1: T1's pivots under First/Last Distance are (1,2), (4,5).
+
+        Note: the paper lists these for T1; ties are broken by index.
+        """
+        idx = pivot_indices(T1_POINTS, 2, "first_last")
+        pts = [tuple(T1_POINTS[i]) for i in idx]
+        assert len(pts) == 2
+        for p in pts:
+            assert p not in ((1.0, 1.0), (5.0, 5.0))  # never endpoints
+
+    def test_never_selects_endpoints(self):
+        for strategy in available_strategies():
+            idx = pivot_indices(T1_POINTS, 4, strategy)
+            assert 0 not in idx
+            assert len(T1_POINTS) - 1 not in idx
+
+    def test_sorted_order(self):
+        idx = pivot_indices(T1_POINTS, 3, "neighbor")
+        assert idx == sorted(idx)
+
+    def test_short_trajectory_fewer_pivots(self):
+        pts = np.array([(0, 0), (1, 1), (2, 2)], float)
+        assert len(pivot_indices(pts, 5, "neighbor")) == 1
+
+    def test_two_point_trajectory_no_pivots(self):
+        pts = np.array([(0, 0), (1, 1)], float)
+        assert pivot_indices(pts, 3, "neighbor") == []
+
+    def test_k_zero(self):
+        assert pivot_indices(T1_POINTS, 0, "neighbor") == []
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            pivot_indices(T1_POINTS, -1, "neighbor")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            pivot_indices(T1_POINTS, 2, "bogus")
+
+    @settings(max_examples=60)
+    @given(point_arrays(), st.integers(0, 6), st.sampled_from(["inflection", "neighbor", "first_last"]))
+    def test_invariants(self, pts, k, strategy):
+        idx = pivot_indices(pts, k, strategy)
+        n = pts.shape[0]
+        assert len(idx) == min(k, max(0, n - 2))
+        assert len(set(idx)) == len(idx)
+        assert all(0 < i < n - 1 for i in idx)
+        assert idx == sorted(idx)
+
+
+class TestIndexingPoints:
+    def test_structure(self):
+        t = Trajectory(1, T1_POINTS)
+        seq = indexing_points(t, 2, "neighbor")
+        assert seq.shape == (4, 2)
+        assert tuple(seq[0]) == (1.0, 1.0)   # first point
+        assert tuple(seq[1]) == (5.0, 5.0)   # last point
+        assert tuple(seq[2]) == (3.0, 2.0)   # first pivot
+        assert tuple(seq[3]) == (4.0, 4.0)   # second pivot
+
+    def test_short_sequence_not_padded(self):
+        t = Trajectory(1, [(0, 0), (1, 1)])
+        seq = indexing_points(t, 4, "neighbor")
+        assert seq.shape == (2, 2)
+
+    @settings(max_examples=40)
+    @given(point_arrays(), st.integers(0, 5))
+    def test_length_bounds(self, pts, k):
+        t = Trajectory(0, pts)
+        seq = indexing_points(t, k, "neighbor")
+        assert 2 <= seq.shape[0] <= k + 2

@@ -1,0 +1,142 @@
+"""End-to-end search correctness: DITA == brute force for every distance."""
+
+import numpy as np
+import pytest
+
+from conftest import brute_force_search
+from repro import DITAConfig, DITAEngine
+from repro.core.adapters import EDRAdapter, LCSSAdapter, ERPAdapter
+from repro.core.search import SearchStats
+from repro.datagen import beijing_like, sample_queries
+from repro.distances import get_distance
+
+
+@pytest.fixture(scope="module")
+def city():
+    return beijing_like(120, seed=42)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return DITAConfig(num_global_partitions=3, trie_fanout=4, num_pivots=3, trie_leaf_capacity=4)
+
+
+@pytest.fixture(scope="module")
+def dtw_engine(city, cfg):
+    return DITAEngine(city, cfg)
+
+
+class TestDTWSearch:
+    @pytest.mark.parametrize("tau", [0.0005, 0.001, 0.003, 0.005])
+    def test_matches_brute_force(self, dtw_engine, city, cfg, tau):
+        d = get_distance("dtw")
+        for q in sample_queries(city, 4, seed=int(tau * 1e5)):
+            got = dtw_engine.search_ids(q, tau)
+            want = brute_force_search(city, d, q, tau)
+            assert got == want
+
+    def test_distances_returned_correct(self, dtw_engine, city):
+        d = get_distance("dtw")
+        q = sample_queries(city, 1, seed=7)[0]
+        for t, dist in dtw_engine.search(q, 0.005):
+            assert dist == pytest.approx(d.compute(t.points, q.points), abs=1e-9)
+            assert dist <= 0.005
+
+    def test_perturbed_queries(self, dtw_engine, city):
+        d = get_distance("dtw")
+        for q in sample_queries(city, 3, seed=11, perturb=0.0004):
+            assert dtw_engine.search_ids(q, 0.004) == brute_force_search(city, d, q, 0.004)
+
+    def test_tau_zero_finds_self(self, dtw_engine, city):
+        q = sample_queries(city, 1, seed=1)[0]
+        # the query is an exact copy of a dataset trajectory
+        assert len(dtw_engine.search_ids(q, 0.0)) >= 1
+
+    def test_negative_tau_rejected(self, dtw_engine, city):
+        q = sample_queries(city, 1, seed=1)[0]
+        with pytest.raises(ValueError):
+            dtw_engine.search(q, -0.1)
+
+    def test_stats_collected(self, dtw_engine, city):
+        q = sample_queries(city, 1, seed=3)[0]
+        stats = SearchStats()
+        dtw_engine.search(q, 0.003, stats=stats)
+        assert stats.relevant_partitions >= 1
+        assert stats.verify.pairs == stats.candidates
+
+    def test_count_candidates_superset_of_answers(self, dtw_engine, city):
+        d = get_distance("dtw")
+        q = sample_queries(city, 1, seed=5)[0]
+        tau = 0.003
+        assert dtw_engine.count_candidates(q, tau) >= len(brute_force_search(city, d, q, tau))
+
+
+class TestFrechetSearch:
+    @pytest.mark.parametrize("tau", [0.0005, 0.002])
+    def test_matches_brute_force(self, city, cfg, tau):
+        engine = DITAEngine(city, cfg, distance="frechet")
+        d = get_distance("frechet")
+        for q in sample_queries(city, 4, seed=13):
+            assert engine.search_ids(q, tau) == brute_force_search(city, d, q, tau)
+
+
+class TestEDRSearch:
+    @pytest.mark.parametrize("tau", [1, 3])
+    def test_matches_brute_force(self, city, cfg, tau):
+        eps = 0.0005
+        engine = DITAEngine(city, cfg, distance=EDRAdapter(epsilon=eps))
+        d = get_distance("edr", epsilon=eps)
+        for q in sample_queries(city, 3, seed=17):
+            assert engine.search_ids(q, tau) == brute_force_search(city, d, q, tau)
+
+
+class TestLCSSSearch:
+    def test_matches_brute_force(self, city, cfg):
+        eps, delta, tau = 0.0005, 3, 2
+        engine = DITAEngine(city, cfg, distance=LCSSAdapter(epsilon=eps, delta=delta))
+        d = get_distance("lcss", epsilon=eps, delta=delta)
+        for q in sample_queries(city, 3, seed=19):
+            assert engine.search_ids(q, tau) == brute_force_search(city, d, q, tau)
+
+
+class TestERPSearch:
+    def test_matches_brute_force(self, city, cfg):
+        engine = DITAEngine(city, cfg, distance=ERPAdapter(ndim=2))
+        d = get_distance("erp")
+        for q in sample_queries(city, 2, seed=23):
+            assert engine.search_ids(q, 0.01) == brute_force_search(city, d, q, 0.01)
+
+
+class TestEngineConfigVariants:
+    def test_search_correct_without_optimizations(self, city):
+        """Every filter disabled must not change answers (only speed)."""
+        cfg = DITAConfig(
+            num_global_partitions=2,
+            trie_fanout=4,
+            num_pivots=2,
+            use_suffix_pruning=False,
+            use_mbr_coverage=False,
+            use_cell_filter=False,
+        )
+        engine = DITAEngine(city, cfg)
+        d = get_distance("dtw")
+        q = sample_queries(city, 1, seed=29)[0]
+        assert engine.search_ids(q, 0.003) == brute_force_search(city, d, q, 0.003)
+
+    def test_single_partition(self, city):
+        cfg = DITAConfig(num_global_partitions=1, trie_fanout=4, num_pivots=2)
+        engine = DITAEngine(city, cfg)
+        d = get_distance("dtw")
+        q = sample_queries(city, 1, seed=31)[0]
+        assert engine.search_ids(q, 0.003) == brute_force_search(city, d, q, 0.003)
+
+    def test_empty_dataset_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            DITAEngine([], cfg)
+
+    def test_index_size_reported(self, dtw_engine):
+        g, l = dtw_engine.index_size_bytes()
+        assert g > 0 and l > 0
+
+    def test_build_time_recorded(self, dtw_engine):
+        assert dtw_engine.build_time_s > 0

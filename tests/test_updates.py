@@ -1,0 +1,152 @@
+"""Tests for incremental index updates (insert/remove)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DITAConfig, DITAEngine
+from repro.core.trie import TrieIndex
+from repro.datagen import beijing_like, citywide_dataset
+from repro.distances import get_distance
+from repro.trajectory import Trajectory
+
+
+@pytest.fixture()
+def cfg():
+    return DITAConfig(num_global_partitions=2, trie_fanout=3, num_pivots=3, trie_leaf_capacity=3)
+
+
+def _brute(data, q, tau):
+    d = get_distance("dtw")
+    return sorted(t.traj_id for t in data if d.compute(t.points, q.points) <= tau)
+
+
+class TestTrieInsert:
+    def test_insert_found_by_filter(self, cfg):
+        base = list(beijing_like(30, seed=1))
+        trie = TrieIndex(base, cfg)
+        newcomer = Trajectory(999, base[0].points + 0.00001)
+        trie.insert(newcomer)
+        from repro.core.adapters import DTWAdapter
+
+        candidates = trie.filter_candidates(base[0].points, 0.01, DTWAdapter())
+        assert 999 in {t.traj_id for t in candidates}
+        assert len(trie) == 31
+
+    def test_duplicate_insert_rejected(self, cfg):
+        base = list(beijing_like(10, seed=1))
+        trie = TrieIndex(base, cfg)
+        with pytest.raises(ValueError):
+            trie.insert(base[0])
+
+    def test_leaf_split_on_overflow(self, cfg):
+        base = list(beijing_like(8, seed=2))
+        trie = TrieIndex(base, cfg)
+        nodes_before = trie.node_count()
+        # flood one area so some leaf must split
+        for i in range(30):
+            trie.insert(Trajectory(500 + i, base[0].points + i * 1e-6))
+        assert trie.node_count() > nodes_before
+        assert sorted(t.traj_id for t in trie.all_trajectories()) == sorted(
+            [t.traj_id for t in base] + [500 + i for i in range(30)]
+        )
+
+    def test_single_point_insert(self, cfg):
+        base = list(beijing_like(10, seed=3))
+        trie = TrieIndex(base, cfg)
+        trie.insert(Trajectory(700, [(0.1, 0.1)]))
+        assert 700 in {t.traj_id for t in trie.all_trajectories()}
+
+
+class TestTrieRemove:
+    def test_remove_existing(self, cfg):
+        base = list(beijing_like(20, seed=4))
+        trie = TrieIndex(base, cfg)
+        assert trie.remove(base[5].traj_id)
+        assert base[5].traj_id not in {t.traj_id for t in trie.all_trajectories()}
+        assert len(trie) == 19
+
+    def test_remove_absent(self, cfg):
+        trie = TrieIndex(list(beijing_like(10, seed=4)), cfg)
+        assert not trie.remove(12345)
+
+
+class TestEngineUpdates:
+    def test_search_exact_after_updates(self, cfg):
+        base = list(beijing_like(50, seed=5))
+        engine = DITAEngine(base, cfg)
+        extra = [
+            Trajectory(2000 + t.traj_id, t.points + 0.00003)
+            for t in citywide_dataset(15, seed=6)
+        ]
+        for t in extra:
+            engine.insert(t)
+        removed = {base[1].traj_id, base[9].traj_id}
+        for tid in removed:
+            assert engine.remove(tid)
+        current = [t for t in base if t.traj_id not in removed] + extra
+        assert len(engine) == len(current)
+        for q in (current[0], extra[0]):
+            assert engine.search_ids(q, 0.003) == _brute(current, q, 0.003)
+
+    def test_insert_duplicate_id_rejected(self, cfg):
+        base = list(beijing_like(10, seed=7))
+        engine = DITAEngine(base, cfg)
+        with pytest.raises(ValueError):
+            engine.insert(Trajectory(base[0].traj_id, [(0, 0), (1, 1)]))
+
+    def test_remove_absent_false(self, cfg):
+        engine = DITAEngine(list(beijing_like(10, seed=7)), cfg)
+        assert not engine.remove(98765)
+
+    def test_insert_outside_all_partitions(self, cfg):
+        """A trajectory outside every partition MBR still gets indexed and
+        found (the chosen partition's MBRs grow)."""
+        base = list(beijing_like(30, seed=8))
+        engine = DITAEngine(base, cfg)
+        faraway = Trajectory(3000, np.array([(5.0, 5.0), (5.1, 5.1), (5.2, 5.0)]))
+        engine.insert(faraway)
+        assert engine.search_ids(faraway, 0.001) == [3000]
+
+    def test_join_exact_after_updates(self, cfg):
+        base = list(beijing_like(30, seed=9))
+        engine = DITAEngine(base, cfg)
+        twin = Trajectory(4000, base[0].points + 0.00001)
+        engine.insert(twin)
+        pairs = engine.join(engine, 0.002)
+        d = get_distance("dtw")
+        current = base + [twin]
+        want = sorted(
+            (a.traj_id, b.traj_id)
+            for a in current
+            for b in current
+            if d.compute(a.points, b.points) <= 0.002
+        )
+        assert sorted((a, b) for a, b, _ in pairs) == want
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+    )
+    @given(st.integers(0, 10_000))
+    def test_random_update_sequences(self, cfg, seed):
+        rng = np.random.default_rng(seed)
+        base = list(citywide_dataset(15, seed=seed % 100))
+        engine = DITAEngine(base, cfg)
+        current = {t.traj_id: t for t in base}
+        next_id = 10_000
+        for _ in range(8):
+            if rng.random() < 0.6 or len(current) < 3:
+                pts = rng.uniform(0, 0.2, size=(int(rng.integers(1, 8)), 2))
+                t = Trajectory(next_id, pts)
+                next_id += 1
+                engine.insert(t)
+                current[t.traj_id] = t
+            else:
+                victim = int(rng.choice(sorted(current)))
+                assert engine.remove(victim)
+                del current[victim]
+        q = list(current.values())[0]
+        assert engine.search_ids(q, 0.01) == _brute(current.values(), q, 0.01)

@@ -1,0 +1,148 @@
+"""Tests for the verification pipeline (Section 5.3.3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.verify import (
+    VerificationData,
+    Verifier,
+    VerifyStats,
+    cell_bound_dtw,
+    cell_bound_frechet,
+    mbr_coverage_ok,
+)
+from repro.distances.dtw import dtw, dtw_double_direction
+from repro.distances.frechet import frechet, frechet_threshold
+from repro.geometry.cell import CellSet
+from repro.trajectory import Trajectory
+
+coords = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def trajectories(draw, min_len=1, max_len=10):
+    n = draw(st.integers(min_len, max_len))
+    return np.asarray([[draw(coords), draw(coords)] for _ in range(n)])
+
+
+class TestMBRCoverage:
+    @settings(max_examples=80)
+    @given(trajectories(), trajectories(), st.floats(0.1, 30))
+    def test_lemma_5_4_no_false_negatives(self, t, q, tau):
+        """Similar pairs always survive the coverage filter."""
+        if dtw(t, q) <= tau:
+            tt = Trajectory(0, t)
+            qq = Trajectory(1, q)
+            assert mbr_coverage_ok(tt.mbr, qq.mbr, tau)
+
+    @settings(max_examples=80)
+    @given(trajectories(), trajectories(), st.floats(0.1, 30))
+    def test_lemma_5_4_frechet(self, t, q, tau):
+        if frechet(t, q) <= tau:
+            assert mbr_coverage_ok(Trajectory(0, t).mbr, Trajectory(1, q).mbr, tau)
+
+    def test_example_5_5(self):
+        """Example 5.5: T5 and its Q fail coverage at tau = 3 even though
+        OPAMD alone would not prune them."""
+        t5 = Trajectory(5, [(0, 4), (0, 5), (3, 7), (3, 3), (7, 5)])
+        q = Trajectory(0, [(0, 4), (0, 5), (3, 7), (3, 9), (3, 11), (3, 3), (7, 5)])
+        assert not mbr_coverage_ok(t5.mbr, q.mbr, 3.0)
+
+
+class TestCellBounds:
+    @settings(max_examples=60)
+    @given(trajectories(), trajectories())
+    def test_dtw_bound_sound(self, t, q):
+        ct = CellSet.from_points(t, 1.0)
+        cq = CellSet.from_points(q, 1.0)
+        assert cell_bound_dtw(ct, cq) <= dtw(t, q) + 1e-6
+
+    @settings(max_examples=60)
+    @given(trajectories(), trajectories())
+    def test_frechet_bound_sound(self, t, q):
+        ct = CellSet.from_points(t, 1.0)
+        cq = CellSet.from_points(q, 1.0)
+        assert cell_bound_frechet(ct, cq) <= frechet(t, q) + 1e-6
+
+
+class TestVerifier:
+    def _data(self, t, cell=1.0):
+        return VerificationData.of(t, cell)
+
+    def test_exact_path(self):
+        t = Trajectory(0, [(0, 0), (1, 1)])
+        q = Trajectory(1, [(0, 0), (1, 1)])
+        v = Verifier(dtw_double_direction)
+        assert v.verify(t, q, 0.5, self._data(t), self._data(q)) == 0.0
+
+    def test_mbr_prune_path(self):
+        t = Trajectory(0, [(0, 0), (1, 1)])
+        q = Trajectory(1, [(50, 50), (51, 51)])
+        stats = VerifyStats()
+        v = Verifier(dtw_double_direction)
+        assert v.verify(t, q, 1.0, self._data(t), self._data(q), stats) == math.inf
+        assert stats.pruned_by_mbr == 1
+        assert stats.exact_computed == 0
+
+    def test_cell_prune_path(self):
+        # overlapping MBRs but points consistently ~2 apart: MBR coverage
+        # passes with tau big enough, cells catch the accumulated cost
+        t = Trajectory(0, [(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (5, 0)])
+        q = Trajectory(1, [(0, 2), (1, 2), (2, 2), (3, 2), (4, 2), (5, 2)])
+        stats = VerifyStats()
+        v = Verifier(dtw_double_direction, use_mbr_coverage=True)
+        d = v.verify(t, q, 3.0, self._data(t, 0.5), self._data(q, 0.5), stats)
+        assert d == math.inf
+        assert stats.pruned_by_cells == 1
+
+    def test_stats_accept(self):
+        t = Trajectory(0, [(0, 0), (1, 1)])
+        stats = VerifyStats()
+        v = Verifier(dtw_double_direction)
+        v.verify(t, t, 0.1, self._data(t), self._data(t), stats)
+        assert stats.accepted == 1
+
+    def test_stats_merge(self):
+        a = VerifyStats(pairs=1, accepted=1)
+        b = VerifyStats(pairs=2, pruned_by_mbr=1)
+        a.merge(b)
+        assert a.pairs == 3 and a.pruned_by_mbr == 1 and a.accepted == 1
+
+    def test_filters_can_be_disabled(self):
+        t = Trajectory(0, [(0, 0), (1, 1)])
+        q = Trajectory(1, [(50, 50), (51, 51)])
+        stats = VerifyStats()
+        v = Verifier(dtw_double_direction, use_mbr_coverage=False, use_cell_filter=False)
+        assert v.verify(t, q, 1.0, self._data(t), self._data(q), stats) == math.inf
+        assert stats.exact_computed == 1
+
+    @settings(max_examples=80)
+    @given(trajectories(), trajectories(), st.floats(0.1, 40))
+    def test_pipeline_equals_exact(self, t_pts, q_pts, tau):
+        """The staged pipeline never changes the verdict (DTW)."""
+        t = Trajectory(0, t_pts)
+        q = Trajectory(1, q_pts)
+        v = Verifier(dtw_double_direction)
+        got = v.verify(t, q, tau, self._data(t), self._data(q))
+        d = dtw(t_pts, q_pts)
+        if d <= tau:
+            assert got == pytest.approx(d, rel=1e-9, abs=1e-9)
+        else:
+            assert got == math.inf
+
+    @settings(max_examples=60)
+    @given(trajectories(), trajectories(), st.floats(0.1, 20))
+    def test_pipeline_equals_exact_frechet(self, t_pts, q_pts, tau):
+        t = Trajectory(0, t_pts)
+        q = Trajectory(1, q_pts)
+        v = Verifier(frechet_threshold, cell_bound_fn=cell_bound_frechet)
+        got = v.verify(t, q, tau, self._data(t), self._data(q))
+        f = frechet(t_pts, q_pts)
+        if f <= tau:
+            assert got == pytest.approx(f, rel=1e-9, abs=1e-9)
+        else:
+            assert got == math.inf
