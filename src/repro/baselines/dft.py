@@ -24,11 +24,11 @@ endpoints within ``tau``.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..cluster.clock import Stopwatch
 from ..cluster.simulator import Cluster
 from ..core.adapters import IndexAdapter, get_adapter
 from ..geometry.mbr import MBR
@@ -67,7 +67,7 @@ class DFTEngine:
         if not trajs:
             raise ValueError("cannot index an empty dataset")
         self.max_segment_points = max_segment_points
-        build_start = time.perf_counter()
+        watch = Stopwatch()
         # DFT partitions segments by spatial location of their centers; we
         # partition trajectories by first point (its closest analogue that
         # keeps trajectories whole for verification)
@@ -91,7 +91,7 @@ class DFTEngine:
                 self._by_id[t.traj_id] = t
             self._first_seg[pid] = RTree(first_entries, max_entries=rtree_fanout)
             self._last_seg[pid] = RTree(last_entries, max_entries=rtree_fanout)
-        self.build_time_s = time.perf_counter() - build_start
+        self.build_time_s = watch.elapsed()
         self.cluster = cluster or Cluster(n_workers=min(16, max(1, len(self.partitions))))
         self.cluster.place_partitions(sorted(self.partitions))
         #: modeled bitmap memory of the last query batch (bytes)
@@ -137,7 +137,9 @@ class DFTEngine:
         bitmap_bytes = 0
         for pid in self.partitions:
             ids = self.cluster.run_local(
-                pid, lambda p=pid: self._partition_bitmap(p, query, tau)
+                pid,
+                lambda p=pid: self._partition_bitmap(p, query, tau),
+                work=len(self.partitions[pid]),
             )
             survivors[pid] = ids
             # a roaring-style bitmap over the partition's id universe
@@ -156,7 +158,7 @@ class DFTEngine:
             if not ids:
                 continue
             local = self.cluster.run_local(
-                pid, lambda p=pid, s=ids: self._verify(p, s, query, tau)
+                pid, lambda p=pid, s=ids: self._verify(p, s, query, tau), work=len(ids)
             )
             matches.extend(local)
         return matches

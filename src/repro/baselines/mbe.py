@@ -15,11 +15,11 @@ Trajectories whose bound exceeds ``tau`` are pruned; the survivors are the
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
+from ..cluster.clock import Stopwatch
 from ..core.adapters import IndexAdapter, get_adapter
 from ..geometry.mbr import MBR
 from ..trajectory.trajectory import Trajectory
@@ -67,12 +67,12 @@ class MBEIndex:
         trajs = list(dataset)
         if not trajs:
             raise ValueError("cannot index an empty dataset")
-        build_start = time.perf_counter()
+        watch = Stopwatch()
         self._trajs = trajs
         self._envelopes: Dict[int, List[MBR]] = {
             t.traj_id: envelope(t, points_per_box) for t in trajs
         }
-        self.build_time_s = time.perf_counter() - build_start
+        self.build_time_s = watch.elapsed()
         self._n_boxes = sum(len(e) for e in self._envelopes.values())
 
     def __len__(self) -> int:

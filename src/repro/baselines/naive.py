@@ -8,9 +8,9 @@ the only optimization Naive shares with DITA.
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, List, Optional, Tuple
 
+from ..cluster.clock import Stopwatch
 from ..cluster.simulator import Cluster
 from ..core.adapters import IndexAdapter, get_adapter
 from ..trajectory.trajectory import Trajectory
@@ -34,10 +34,10 @@ class NaiveEngine:
         trajs = list(dataset)
         if not trajs:
             raise ValueError("cannot build over an empty dataset")
-        build_start = time.perf_counter()
+        watch = Stopwatch()
         parts = RandomPartitioner(n_partitions, seed).partition(trajs)
         self.partitions = {pid: part for pid, part in enumerate(parts)}
-        self.build_time_s = time.perf_counter() - build_start
+        self.build_time_s = watch.elapsed()
         self.cluster = cluster or Cluster(n_workers=min(16, max(1, len(self.partitions))))
         self.cluster.place_partitions(sorted(self.partitions))
 
@@ -59,7 +59,7 @@ class NaiveEngine:
         matches: List[Match] = []
         for pid, part in self.partitions.items():
             local = self.cluster.run_local(
-                pid, lambda p=part: self._scan_partition(p, query, tau)
+                pid, lambda p=part: self._scan_partition(p, query, tau), work=len(part)
             )
             matches.extend(local)
         return matches
@@ -80,11 +80,13 @@ class NaiveEngine:
             for qid, qpart in other.partitions.items():
                 nbytes = sum(t.nbytes() for t in qpart)
                 self.cluster.ship(qid % self.cluster.n_workers, pid, nbytes)
-                start = time.perf_counter()
-                for q in qpart:
-                    for t in part:
-                        d = self.adapter.exact(t.points, q.points, tau)
-                        if d <= tau:
-                            results.append((t.traj_id, q.traj_id, d))
-                self.cluster.charge_compute(pid, time.perf_counter() - start)
+
+                def scan_pair(part=part, qpart=qpart):
+                    for q in qpart:
+                        for t in part:
+                            d = self.adapter.exact(t.points, q.points, tau)
+                            if d <= tau:
+                                results.append((t.traj_id, q.traj_id, d))
+
+                self.cluster.run_local(pid, scan_pair, work=len(part) * len(qpart))
         return results

@@ -15,11 +15,11 @@ the evaluation attributes the gap to:
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..cluster.clock import Stopwatch
 from ..cluster.simulator import Cluster
 from ..core.adapters import IndexAdapter, get_adapter
 from ..geometry.mbr import MBR
@@ -45,7 +45,7 @@ class SimbaEngine:
         trajs = list(dataset)
         if not trajs:
             raise ValueError("cannot index an empty dataset")
-        build_start = time.perf_counter()
+        watch = Stopwatch()
         firsts = np.asarray([t.first for t in trajs])
         tiles = str_partition(firsts, n_partitions)
         self.partitions: Dict[int, List[Trajectory]] = {}
@@ -60,7 +60,7 @@ class SimbaEngine:
                 [(MBR.of_point(t.first), t) for t in part], max_entries=rtree_fanout
             )
         self.global_rtree = RTree(entries, max_entries=rtree_fanout)
-        self.build_time_s = time.perf_counter() - build_start
+        self.build_time_s = watch.elapsed()
         self.cluster = cluster or Cluster(n_workers=min(16, max(1, len(self.partitions))))
         self.cluster.place_partitions(sorted(self.partitions))
 
@@ -85,7 +85,9 @@ class SimbaEngine:
         matches: List[Match] = []
         for pid in sorted(relevant):
             local = self.cluster.run_local(
-                pid, lambda p=pid: self._local_search(p, query, tau)
+                pid,
+                lambda p=pid: self._local_search(p, query, tau),
+                work=len(self.partitions[pid]),
             )
             matches.extend(local)
         return matches
@@ -120,13 +122,14 @@ class SimbaEngine:
                 self.cluster.ship(
                     r_pid % self.cluster.n_workers, l_pid, nbytes
                 )
-                start = time.perf_counter()
-                for q in r_part:
-                    for _, t in self._local_rtrees[l_pid].search_min_dist(q.first, tau):
-                        d = self.adapter.exact(t.points, q.points, tau)
-                        if d <= tau:
-                            results.append((t.traj_id, q.traj_id, d))
-                self.cluster.charge_compute(l_pid, time.perf_counter() - start)
+                def scan_pair(r_part=r_part, l_pid=l_pid):
+                    for q in r_part:
+                        for _, t in self._local_rtrees[l_pid].search_min_dist(q.first, tau):
+                            d = self.adapter.exact(t.points, q.points, tau)
+                            if d <= tau:
+                                results.append((t.traj_id, q.traj_id, d))
+
+                self.cluster.run_local(l_pid, scan_pair, work=len(r_part))
         return results
 
     def index_size_bytes(self) -> Tuple[int, int]:

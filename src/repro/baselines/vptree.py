@@ -9,12 +9,12 @@ computation as a "candidate" — the Figure 17 pruning-power metric.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..cluster.clock import Stopwatch
 from ..distances.frechet import frechet
 from ..trajectory.trajectory import Trajectory
 
@@ -46,9 +46,9 @@ class VPTree:
             raise ValueError("cannot build a VP-tree over an empty dataset")
         self._n = len(trajs)
         rng = np.random.default_rng(seed)
-        build_start = time.perf_counter()
+        watch = Stopwatch()
         self._root = self._build(trajs, rng)
-        self.build_time_s = time.perf_counter() - build_start
+        self.build_time_s = watch.elapsed()
 
     def _build(self, trajs: List[Trajectory], rng: np.random.Generator) -> Optional[_VPNode]:
         if not trajs:

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli join trips.jsonl --tau 0.002
     python -m repro.cli knn trips.jsonl --query-id 7 --k 5
     python -m repro.cli cluster trips.jsonl --tau 0.003 --min-pts 3
+    python -m repro.cli lint src/
 
 Datasets are JSON-lines files (see :mod:`repro.trajectory.io`).
 """
@@ -113,6 +114,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -157,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     _add_engine_args(p)
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser("lint", help="run the ditalint static-analysis suite")
+    from .devtools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -1,5 +1,12 @@
 """Simulated Spark-like cluster: workers, network model, partitioners."""
 
+from .clock import (
+    Stopwatch,
+    make_fixed_cost_measure,
+    unit_cost_measure,
+    wall_clock,
+    wall_clock_measure,
+)
 from .metrics import ExecutionReport
 from .network import NetworkModel
 from .partitioner import DITAPartitioner, RandomPartitioner
@@ -11,5 +18,10 @@ __all__ = [
     "ExecutionReport",
     "NetworkModel",
     "RandomPartitioner",
+    "Stopwatch",
     "Worker",
+    "make_fixed_cost_measure",
+    "unit_cost_measure",
+    "wall_clock",
+    "wall_clock_measure",
 ]

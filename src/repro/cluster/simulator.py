@@ -7,12 +7,18 @@ simulator executes the same plans in-process while accounting the costs a
 real cluster would pay:
 
 * every partition lives on one worker (round-robin placement by default);
-* ``run_local(partition_id, fn)`` executes ``fn`` *for real*, measures its
-  wall time and charges it to the owning worker's simulated clock;
+* ``run_local(partition_id, fn, work)`` executes ``fn`` *for real* and
+  charges its cost — by default ``work`` deterministic cost units, or real
+  wall time when the cluster was built with
+  ``measure=``:func:`~repro.cluster.clock.wall_clock_measure` — to the
+  owning worker's simulated clock;
 * ``ship(src, dst, nbytes)`` charges network transfer time to the sender
   and receiver workers using the :class:`NetworkModel`;
 * the job's simulated makespan is the max worker clock — which is what
   scale-up/scale-out curves measure.
+
+The default measure never reads the host clock, so two runs over the same
+seed yield byte-identical reports (see ``tests/test_determinism.py``).
 
 Workers expose ``cores``: charging divides task time by 1 (tasks are the
 unit of parallelism, as in Spark), but a worker with ``c`` cores runs up to
@@ -22,10 +28,10 @@ processing-time greedy packing onto per-core clocks.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from .clock import TaskMeasure, unit_cost_measure
 from .metrics import ExecutionReport
 from .network import NetworkModel
 
@@ -69,6 +75,7 @@ class Cluster:
         n_workers: int,
         cores_per_worker: int = 1,
         network: Optional[NetworkModel] = None,
+        measure: Optional[TaskMeasure] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -76,6 +83,9 @@ class Cluster:
             raise ValueError("cores_per_worker must be >= 1")
         self.workers = [Worker(i, cores_per_worker) for i in range(n_workers)]
         self.network = network or NetworkModel()
+        #: how executed tasks are priced; deterministic unless the caller
+        #: explicitly opts into wall-clock profiling
+        self.measure: TaskMeasure = measure or unit_cost_measure
         self._placement: Dict[int, int] = {}
         self._report = ExecutionReport()
 
@@ -111,14 +121,23 @@ class Cluster:
     # execution
     # ------------------------------------------------------------------ #
 
-    def run_local(self, partition_id: int, fn: Callable[[], Any]) -> Any:
-        """Execute ``fn`` on the partition's worker; real wall time is
-        charged to that worker's simulated clock."""
+    def run_local(self, partition_id: int, fn: Callable[[], Any], work: float = 1.0) -> Any:
+        """Execute ``fn`` on the partition's worker and charge its cost (as
+        priced by the cluster's measure hook) to that worker's clock."""
         wid = self.worker_of(partition_id)
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
+        result, elapsed = self.measure(fn, work)
         self.workers[wid].charge_compute(elapsed)
+        self._report.total_compute_s += elapsed
+        self._report.tasks += 1
+        return result
+
+    def run_on_worker(self, worker_id: int, fn: Callable[[], Any], work: float = 1.0) -> Any:
+        """Execute ``fn`` on a specific worker (used when load balancing
+        routes a task away from its partition's home) and charge its cost."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"no worker {worker_id}")
+        result, elapsed = self.measure(fn, work)
+        self.workers[worker_id].charge_compute(elapsed)
         self._report.total_compute_s += elapsed
         self._report.tasks += 1
         return result

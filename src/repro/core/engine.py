@@ -19,9 +19,9 @@ Typical use::
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..cluster.clock import Stopwatch, wall_clock
 from ..cluster.simulator import Cluster
 from ..geometry.mbr import MBR
 from ..trajectory.trajectory import Trajectory
@@ -50,6 +50,10 @@ class DITAEngine:
     cluster:
         The simulated cluster; defaults to one worker per partition group
         (capped at 16).
+    clock:
+        Time source for the (real) index-build measurement; defaults to
+        the wall clock.  Simulated metrics never use it — they are priced
+        by the cluster's deterministic measure hook.
     """
 
     def __init__(
@@ -58,6 +62,7 @@ class DITAEngine:
         config: Optional[DITAConfig] = None,
         distance: "str | IndexAdapter" = "dtw",
         cluster: Optional[Cluster] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.config = config or DITAConfig()
         if isinstance(distance, str):
@@ -69,7 +74,7 @@ class DITAEngine:
         trajs = list(dataset)
         if not trajs:
             raise ValueError("cannot index an empty dataset")
-        build_start = time.perf_counter()
+        watch = Stopwatch(clock or wall_clock)
         raw_partitions = partition_trajectories(trajs, self.config.num_global_partitions)
         self.global_index = GlobalIndex(raw_partitions, self.config)
         self.partitions: Dict[int, List[Trajectory]] = {
@@ -78,7 +83,7 @@ class DITAEngine:
         self.tries: Dict[int, TrieIndex] = {
             pid: TrieIndex(part, self.config) for pid, part in self.partitions.items()
         }
-        self.build_time_s = time.perf_counter() - build_start
+        self.build_time_s = watch.elapsed()
         self.verifier = self.adapter.make_verifier(
             use_mbr_coverage=self.config.use_mbr_coverage,
             use_cell_filter=self.config.use_cell_filter,
@@ -192,7 +197,9 @@ class DITAEngine:
                 continue
             searcher = self._searchers[pid]
             local = self.cluster.run_local(
-                pid, lambda s=searcher: s.search(query, tau, query_data=q_data, stats=stats)
+                pid,
+                lambda s=searcher: s.search(query, tau, query_data=q_data, stats=stats),
+                work=len(self.partitions[pid]),
             )
             matches.extend(local)
         return matches

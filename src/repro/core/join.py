@@ -9,7 +9,6 @@ to the simulated cluster.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -170,10 +169,12 @@ class JoinExecutor:
     ) -> List[JoinPair]:
         """Run the join; results are (left id, right id, distance) triples.
 
-        Compute time is measured for real per local-join task and charged to
-        the simulated worker executing it; shipping is charged through the
-        cluster's network model.  With division balancing, a replicated
-        partition's incoming tasks rotate across its replica workers.
+        Each local-join task runs for real and its cost — priced by the
+        cluster's measure hook, proportional to the task's trajectory count
+        by default — is charged to the simulated worker executing it;
+        shipping is charged through the cluster's network model.  With
+        division balancing, a replicated partition's incoming tasks rotate
+        across its replica workers.
         """
         plan = self.plan(tau, use_orientation, use_division)
         if stats is not None:
@@ -221,26 +222,27 @@ class JoinExecutor:
                 if not chunk:
                     continue
                 exec_worker = (home_worker + slot) % self.cluster.n_workers
-                start = time.perf_counter()
-                for t in chunk:
-                    data_key = (edge.direction == "qt", t.traj_id)
-                    t_data = sender_data.get(data_key)
-                    if t_data is None:
-                        t_data = VerificationData.of(t, self.config.cell_size)
-                        sender_data[data_key] = t_data
-                    if stats is not None:
-                        sstats = SearchStats()
-                        matches = searcher.search(t, tau, query_data=t_data, stats=sstats)
-                        stats.candidate_pairs += sstats.candidates
-                    else:
-                        matches = searcher.search(t, tau, query_data=t_data)
-                    for other, dist in matches:
-                        if flip:
-                            results.append((other.traj_id, t.traj_id, dist))
+
+                def run_chunk(chunk=chunk, searcher=searcher, flip=flip, direction=edge.direction):
+                    for t in chunk:
+                        data_key = (direction == "qt", t.traj_id)
+                        t_data = sender_data.get(data_key)
+                        if t_data is None:
+                            t_data = VerificationData.of(t, self.config.cell_size)
+                            sender_data[data_key] = t_data
+                        if stats is not None:
+                            sstats = SearchStats()
+                            matches = searcher.search(t, tau, query_data=t_data, stats=sstats)
+                            stats.candidate_pairs += sstats.candidates
                         else:
-                            results.append((t.traj_id, other.traj_id, dist))
-                elapsed = time.perf_counter() - start
-                self.cluster.charge_compute_worker(exec_worker, elapsed)
+                            matches = searcher.search(t, tau, query_data=t_data)
+                        for other, dist in matches:
+                            if flip:
+                                results.append((other.traj_id, t.traj_id, dist))
+                            else:
+                                results.append((t.traj_id, other.traj_id, dist))
+
+                self.cluster.run_on_worker(exec_worker, run_chunk, work=len(chunk))
         # one (T, Q) pair may be found via several partition-pair edges is
         # impossible: partitions tile the data, so each (T, Q) pair meets on
         # exactly one edge — but a pair appears twice when both directions

@@ -1,4 +1,4 @@
-"""Floating-point slack for filter thresholds.
+"""Floating-point slack and tolerance helpers.
 
 Every DITA filter proves dissimilarity via ``lower_bound > tau``.  The
 bounds are mathematically sound, but accumulated float rounding can push a
@@ -6,6 +6,10 @@ bound epsilon-above a distance that itself rounded down to exactly ``tau``,
 pruning a boundary answer.  All filters therefore compare against
 ``slack(tau)`` — a hair above ``tau`` — which can only admit (never drop)
 candidates, preserving exactness after verification.
+
+The same rounding argument forbids raw ``==``/``!=`` on floats anywhere in
+the distance and geometry kernels (lint rule DIT003): use :func:`feq` for
+value equality and :func:`near_zero` for degeneracy guards instead.
 """
 
 from __future__ import annotations
@@ -17,3 +21,15 @@ _EPS_ABS = 1e-12
 def slack(tau: float) -> float:
     """``tau`` inflated by a relative + absolute epsilon."""
     return tau * (1.0 + _EPS_REL) + _EPS_ABS
+
+
+def feq(a: float, b: float, rel: float = _EPS_REL, abs_tol: float = _EPS_ABS) -> bool:
+    """Tolerant float equality: true when ``a`` and ``b`` agree to within
+    a relative epsilon (scaled by the larger magnitude) or ``abs_tol``."""
+    return abs(a - b) <= max(rel * max(abs(a), abs(b)), abs_tol)
+
+
+def near_zero(x: float, abs_tol: float = _EPS_ABS) -> bool:
+    """Degeneracy guard: is ``x`` indistinguishable from zero?  Catches the
+    exactly-0.0 case *and* values a rounding error away from it."""
+    return abs(x) <= abs_tol

@@ -1,0 +1,1 @@
+"""Developer tooling for the DITA reproduction (not imported at runtime)."""

@@ -1,0 +1,36 @@
+"""ditalint — project-specific static analysis for the DITA reproduction.
+
+An AST-based rule suite encoding the repo's reproducibility invariants:
+no wall-clock in simulated code (DIT001), seeded RNG only (DIT002), no
+exact float equality in numeric kernels (DIT003), no ordered decisions on
+set iteration order (DIT004), the distance lower-bound contract (DIT005)
+and general hygiene (DIT006).  See ``docs/STATIC_ANALYSIS.md``.
+
+Programmatic use::
+
+    from repro.devtools.lint import lint_paths
+    result = lint_paths(["src"])
+    assert result.ok, [f.render() for f in result.findings]
+"""
+
+from . import rules  # noqa: F401  -- importing registers the rule set
+from .baseline import Baseline
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, register
+from .runner import LintResult, lint_paths, lint_source
+from .suppress import scan_suppressions
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "scan_suppressions",
+]

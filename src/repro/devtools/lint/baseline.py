@@ -1,0 +1,75 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file of finding fingerprints (rule, path, message
+— no line numbers, so edits elsewhere in a file do not invalidate it)
+each carrying a one-line ``justification``.  Findings matching a baseline
+entry are reported separately and do not fail the run; entries are
+matched as a multiset, so two identical findings need two entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered fingerprints with their justifications."""
+
+    entries: List[Dict[str, str]] = field(default_factory=list)
+
+    @staticmethod
+    def _fingerprint(entry: Dict[str, str]) -> str:
+        return f"{entry['rule']}|{entry['path']}|{entry['message']}"
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        raw = json.loads(Path(path).read_text())
+        if raw.get("version") != BASELINE_VERSION:
+            raise ValueError(f"unsupported baseline version {raw.get('version')!r}")
+        entries = raw.get("entries", [])
+        for entry in entries:
+            missing = {"rule", "path", "message", "justification"} - set(entry)
+            if missing:
+                raise ValueError(f"baseline entry missing {sorted(missing)}: {entry}")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding], justification: str = "TODO: justify") -> "Baseline":
+        entries = [
+            {
+                "rule": f.rule_id,
+                "path": f.path,
+                "message": f.message,
+                "justification": justification,
+            }
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        return cls(entries=entries)
+
+    def write(self, path: "str | Path") -> None:
+        payload = {"version": BASELINE_VERSION, "entries": self.entries}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def split(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Partition ``findings`` into (new, grandfathered)."""
+        budget = Counter(self._fingerprint(e) for e in self.entries)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for f in findings:
+            fp = f.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old

@@ -1,0 +1,77 @@
+"""``ditalint`` command line: ``python -m repro.devtools.lint`` or
+``python -m repro.cli lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .registry import all_rules
+from .reporters import json_report, text_report
+from .runner import lint_paths
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument("--verbose", action="store_true", help="also list baselined/suppressed findings")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+            print(f"{rule.rule_id}  {rule.summary}  [scope: {scope}]")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    baseline: Optional[Baseline] = None
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    try:
+        result = lint_paths(args.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"ditalint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).write(baseline_path)
+        print(f"wrote {len(result.findings)} entries to {baseline_path}")
+        return 0
+
+    if args.format == "json":
+        print(json_report(result))
+    else:
+        print(text_report(result, verbose=args.verbose))
+    return result.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ditalint",
+        description="Project-specific static analysis for the DITA reproduction.",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

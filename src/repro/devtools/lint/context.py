@@ -1,0 +1,72 @@
+"""Per-file analysis context shared by every rule.
+
+A :class:`FileContext` bundles the parsed AST with an import table so
+rules can resolve ``np.random.rand`` or ``from time import perf_counter
+as pc; pc()`` to fully-qualified dotted names instead of pattern-matching
+on local aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional
+
+
+def build_import_table(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted module/object paths they import.
+
+    ``import numpy as np``            -> ``{"np": "numpy"}``
+    ``from time import perf_counter`` -> ``{"perf_counter": "time.perf_counter"}``
+    ``from numpy import random as r`` -> ``{"r": "numpy.random"}``
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                table[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never hide stdlib modules
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one Python file."""
+
+    path: str  #: POSIX-style path relative to the lint root
+    source: str
+    tree: ast.AST
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, source=source, tree=tree, imports=build_import_table(tree))
+
+    @property
+    def path_parts(self) -> tuple:
+        return PurePosixPath(self.path).parts
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve ``node`` to a fully-qualified dotted name, or ``None``.
+
+        Attribute chains rooted at an imported name resolve through the
+        import table; un-imported roots resolve to their literal spelling
+        (so ``time.sleep`` works even if the table is empty).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))

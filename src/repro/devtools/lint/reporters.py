@@ -1,0 +1,31 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .runner import LintResult
+
+
+def text_report(result: LintResult, verbose: bool = False) -> str:
+    lines = [f.render() for f in result.findings]
+    if verbose:
+        lines.extend(f"{f.render()} [baselined]" for f in result.baselined)
+        lines.extend(f"{f.render()} [suppressed]" for f in result.suppressed)
+    summary = (
+        f"{result.files_checked} files checked: {len(result.findings)} findings"
+        f" ({len(result.baselined)} baselined, {len(result.suppressed)} suppressed)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult) -> str:
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,461 @@
+"""The DITA-specific rule set (DIT001–DIT006).
+
+Each rule encodes an invariant the reproduction's claims depend on; the
+rationale for every id, with the paper claim it protects, lives in
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, register
+
+# --------------------------------------------------------------------- #
+# DIT001 — wall-clock reads in simulated-cluster code
+# --------------------------------------------------------------------- #
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """Simulated metrics must be functions of the algorithm, not the host:
+    read time through :mod:`repro.cluster.clock` instead."""
+
+    rule_id = "DIT001"
+    summary = "wall-clock call inside simulated-cluster code"
+    scopes = ("cluster", "core", "baselines")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {name}() in simulated-cluster code; inject a "
+                    "clock (repro.cluster.clock) or pass an explicit measure= hook",
+                )
+
+
+# --------------------------------------------------------------------- #
+# DIT002 — unseeded or module-global RNG
+# --------------------------------------------------------------------- #
+
+_NUMPY_LEGACY_RNG = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "uniform", "normal", "standard_normal",
+    "seed", "get_state", "set_state", "beta", "binomial", "poisson",
+    "exponential", "gamma", "geometric", "gumbel", "laplace", "logistic",
+    "lognormal", "multinomial", "multivariate_normal", "pareto", "power",
+    "rayleigh", "triangular", "vonmises", "wald", "weibull", "zipf", "bytes",
+}
+
+_NUMPY_LEGACY_CALLS = {f"numpy.random.{fn}" for fn in _NUMPY_LEGACY_RNG}
+
+
+@register
+class UnseededRNGRule(Rule):
+    """Datasets, partitioners and the join planner must draw from an
+    explicitly seeded ``numpy.random.Generator``."""
+
+    rule_id = "DIT002"
+    summary = "unseeded or module-global RNG use"
+    scopes = ("datagen", "cluster", "core")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.dotted_name(node.func)
+            if name is None:
+                continue
+            unseeded = not node.args and not any(kw.arg == "seed" for kw in node.keywords)
+            if name.startswith("random.") and name.count(".") == 1:
+                attr = name.split(".", 1)[1]
+                if attr == "Random" and not unseeded:
+                    continue  # random.Random(seed) is deterministic
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-global RNG {name}(); use an explicitly seeded "
+                    "numpy.random.Generator threaded through the call stack",
+                )
+            elif name in _NUMPY_LEGACY_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy global-state RNG {name}(); use "
+                    "numpy.random.default_rng(seed) instead",
+                )
+            elif name in ("numpy.random.default_rng", "numpy.random.RandomState") and unseeded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() without a seed draws from OS entropy; pass an "
+                    "explicit seed so runs are reproducible",
+                )
+
+
+# --------------------------------------------------------------------- #
+# DIT003 — exact float equality in numeric kernels
+# --------------------------------------------------------------------- #
+
+_FLOAT_CONST_NAMES = {
+    "math.inf", "math.nan", "math.pi", "math.e", "math.tau",
+    "numpy.inf", "numpy.nan", "numpy.pi", "numpy.e",
+}
+
+
+def _is_floaty(ctx: FileContext, node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floaty(ctx, node.operand)
+    if isinstance(node, ast.Call) and ctx.dotted_name(node.func) == "float":
+        return True
+    name = ctx.dotted_name(node)
+    return name in _FLOAT_CONST_NAMES
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Accumulated rounding makes ``==`` on floats prune boundary answers;
+    the filter-threshold slack story (repro.core.numerics) only holds if
+    comparisons go through its tolerance helpers."""
+
+    rule_id = "DIT003"
+    summary = "exact float equality in distance/geometry code"
+    scopes = ("distances", "geometry")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(ctx, left) or _is_floaty(ctx, right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact float equality; use repro.core.numerics.feq/"
+                        "near_zero (or math.isinf/isnan for sentinels)",
+                    )
+                    break
+
+
+# --------------------------------------------------------------------- #
+# DIT004 — ordered decisions fed by set/dict iteration order
+# --------------------------------------------------------------------- #
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    return False
+
+
+def _is_dict_keys_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id == "dict":
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            return True
+    return False
+
+
+class _SetNameCollector(ast.NodeVisitor):
+    """Names assigned only set-typed expressions within one scope."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+        self.other_names: Set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if _is_set_expr(node.value, set()):
+                    self.set_names.add(target.id)
+                else:
+                    self.other_names.add(target.id)
+        self.generic_visit(node)
+
+    # nested scopes track their own names
+    def visit_FunctionDef(self, node):  # pragma: no cover - structural
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def resolved(self) -> Set[str]:
+        return self.set_names - self.other_names
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Partition assignment, cost-model tie-breaking and result ordering
+    must not inherit the interpreter's set iteration order."""
+
+    rule_id = "DIT004"
+    summary = "ordered decision fed by set/dict iteration order"
+
+    _MESSAGE = (
+        "iteration over a set feeds an ordered decision; iterate "
+        "sorted(...) with an explicit key"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope in self._scopes(ctx.tree):
+            collector = _SetNameCollector()
+            for stmt in scope:
+                collector.visit(stmt)
+            set_names = collector.resolved()
+            yield from self._check_scope(ctx, scope, set_names)
+
+    def _scopes(self, tree: ast.AST):
+        """Yield statement lists of the module, class bodies and functions."""
+        yield tree.body  # type: ignore[attr-defined]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                yield node.body
+
+    @staticmethod
+    def _walk_scope(stmts):
+        """Walk statements without descending into nested scopes (those are
+        visited as scopes of their own)."""
+        stack = [s for s in stmts if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                stack.append(child)
+
+    #: Callables whose result cannot depend on the order their argument is
+    #: consumed in — a generator fed straight into one of these is safe.
+    #: (``sum`` is absent on purpose: float addition is not associative.)
+    _ORDER_FREE = frozenset({"any", "all", "set", "frozenset", "sorted", "len"})
+
+    def _check_scope(self, ctx: FileContext, stmts, set_names: Set[str]) -> Iterator[Finding]:
+        order_free_ids: Set[int] = set()
+        for node in self._walk_scope(stmts):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in self._ORDER_FREE:
+                    for arg in node.args:
+                        if isinstance(arg, ast.GeneratorExp):
+                            order_free_ids.add(id(arg))
+            if isinstance(node, ast.For) and _is_set_expr(node.iter, set_names):
+                yield self.finding(ctx, node, self._MESSAGE)
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                if id(node) in order_free_ids:
+                    continue
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, set_names):
+                        yield self.finding(ctx, node, self._MESSAGE)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                fname = node.func.id
+                if fname in ("min", "max", "next") and node.args and _is_set_expr(node.args[0], set_names):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{fname}() over a set breaks ties by iteration order; "
+                        "iterate a sorted sequence or add a total-order key",
+                    )
+                elif fname in ("min", "max") and node.args and node.keywords:
+                    if _is_dict_keys_expr(node.args[0]) and any(kw.arg == "key" for kw in node.keywords):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{fname}(dict, key=...) breaks ties by insertion order; "
+                            "sort the keys first for a stable tie-break",
+                        )
+
+
+# --------------------------------------------------------------------- #
+# DIT005 — distance classes must honour the lower-bound contract
+# --------------------------------------------------------------------- #
+
+@register
+class DistanceContractRule(Rule):
+    """Every distance must subclass :class:`TrajectoryDistance` and either
+    implement ``lower_bound`` or opt out via ``lower_bound_exempt``; the
+    trie's pruning is only exact when its bounds really are lower bounds."""
+
+    rule_id = "DIT005"
+    summary = "distance class violates the lower-bound contract"
+    scopes = ("distances",)
+
+    _BASE = "TrajectoryDistance"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == self._BASE:
+                continue
+            base_names = {self._base_name(b) for b in node.bases}
+            is_distance = self._BASE in base_names or any(
+                name and name.endswith("Distance") for name in base_names
+            )
+            if is_distance:
+                if not self._has_contract(node):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{node.name} registers no lower bound: define "
+                        "lower_bound(t, q) or set lower_bound_exempt = \"<reason>\"",
+                    )
+            elif self._looks_like_distance(node) and not base_names & {"ABC", "Protocol"}:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{node.name} defines compute() but does not subclass "
+                    f"{self._BASE}; distances must implement the shared interface",
+                )
+
+    @staticmethod
+    def _base_name(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    @staticmethod
+    def _has_contract(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "lower_bound":
+                return True
+            if isinstance(stmt, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == "lower_bound_exempt" for t in stmt.targets):
+                    return True
+            if isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.target.id == "lower_bound_exempt" and stmt.value:
+                    return True
+        return False
+
+    @staticmethod
+    def _looks_like_distance(node: ast.ClassDef) -> bool:
+        return any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "compute"
+            for stmt in node.body
+        )
+
+
+# --------------------------------------------------------------------- #
+# DIT006 — mutable defaults and shadowed builtins
+# --------------------------------------------------------------------- #
+
+_SHADOW_BUILTINS = {
+    "list", "dict", "set", "tuple", "str", "int", "float", "bool", "bytes",
+    "id", "type", "input", "filter", "map", "sum", "min", "max", "all",
+    "any", "len", "sorted", "range", "object", "hash", "next", "iter",
+    "vars", "dir", "abs", "round", "repr", "format", "open", "eval",
+    "exec", "compile", "slice", "frozenset", "complex", "zip", "enumerate",
+    "reversed", "property", "bin", "hex", "oct", "pow", "divmod",
+    "callable", "print",
+}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+@register
+class HygieneRule(Rule):
+    """Mutable default arguments leak state across calls; shadowed
+    builtins make numeric code unreadable and break later refactors."""
+
+    rule_id = "DIT006"
+    summary = "mutable default argument or shadowed builtin"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        class_members = self._class_member_ids(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from self._check_args(ctx, node)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.name in _SHADOW_BUILTINS and id(node) not in class_members:
+                    yield self.finding(ctx, node, f"definition shadows builtin {node.name!r}")
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id in _SHADOW_BUILTINS and id(node) not in class_members:
+                    yield self.finding(ctx, node, f"assignment shadows builtin {node.id!r}")
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if local in _SHADOW_BUILTINS:
+                        yield self.finding(ctx, node, f"import shadows builtin {local!r}")
+
+    @staticmethod
+    def _class_member_ids(tree: ast.AST) -> Set[int]:
+        """Node ids of class-body bindings: ``Token.type`` or a Spark-style
+        ``frame.filter`` method never shadow the builtin at call sites, so
+        attribute/method names may mirror builtins freely."""
+        members: Set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    members.add(id(stmt))
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        for name in ast.walk(target):
+                            if isinstance(name, ast.Name):
+                                members.add(id(name))
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    members.add(id(stmt.target))
+        return members
+
+    def _check_args(self, ctx: FileContext, node) -> Iterator[Finding]:
+        args = node.args
+        for default in [*args.defaults, *[d for d in args.kw_defaults if d is not None]]:
+            if _is_mutable_default(default):
+                yield self.finding(
+                    ctx,
+                    default,
+                    "mutable default argument is shared across calls; default to "
+                    "None and create the container inside the function",
+                )
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg:
+            all_args.append(args.vararg)
+        if args.kwarg:
+            all_args.append(args.kwarg)
+        for arg in all_args:
+            if arg.arg in _SHADOW_BUILTINS:
+                yield self.finding(ctx, arg, f"argument shadows builtin {arg.arg!r}")

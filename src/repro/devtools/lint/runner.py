@@ -1,0 +1,103 @@
+"""File collection and rule execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from .baseline import Baseline
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, all_rules
+from .suppress import scan_suppressions
+
+#: reserved id for files the linter cannot parse
+SYNTAX_ERROR_ID = "DIT000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)  #: new, actionable
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def iter_python_files(paths: Sequence["str | Path"]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        elif path.suffix == ".py":
+            yield path
+
+
+def _rel_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(
+    source: str, path: str, rules: Optional[Sequence[Rule]] = None
+) -> tuple:
+    """Lint one in-memory file; returns (kept findings, suppressed)."""
+    rules = list(rules) if rules is not None else all_rules()
+    try:
+        ctx = FileContext.parse(path, source)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id=SYNTAX_ERROR_ID,
+            path=path,
+            line=exc.lineno or 0,
+            col=(exc.offset or 1),
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [finding], []
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            raw.extend(rule.check(ctx))
+    suppressions = scan_suppressions(source)
+    kept = [f for f in raw if not suppressions.is_suppressed(f)]
+    suppressed = [f for f in raw if suppressions.is_suppressed(f)]
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: Sequence["str | Path"],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional["str | Path"] = None,
+) -> LintResult:
+    """Lint files/directories and fold in suppressions and the baseline."""
+    root_path = Path(root) if root is not None else Path.cwd()
+    result = LintResult()
+    collected: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        rel = _rel_posix(file_path, root_path)
+        source = file_path.read_text(encoding="utf-8")
+        kept, suppressed = lint_source(source, rel, rules)
+        collected.extend(kept)
+        result.suppressed.extend(suppressed)
+        result.files_checked += 1
+    collected.sort(key=Finding.sort_key)
+    if baseline is not None:
+        result.findings, result.baselined = baseline.split(collected)
+    else:
+        result.findings = collected
+    return result

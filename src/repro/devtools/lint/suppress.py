@@ -1,0 +1,68 @@
+"""Suppression comments.
+
+Two forms, parsed from the token stream (so strings that merely *contain*
+the magic text are ignored):
+
+* ``# ditalint: disable=DIT001`` (or ``=DIT001,DIT004`` or ``=all``) on
+  the offending line, or on a comment-only line directly above it;
+* ``# ditalint: disable-file=DIT001`` (or ``=all``) anywhere in the file.
+
+Anything after the id list (e.g. ``-- justification``) is ignored, so
+suppressions can and should carry a reason inline.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from .findings import Finding
+
+_PATTERN = re.compile(
+    r"#\s*ditalint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rule ids are silenced where."""
+
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if "all" in self.file_level or finding.rule_id in self.file_level:
+            return True
+        ids = self.by_line.get(finding.line, ())
+        return "all" in ids or finding.rule_id in ids
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    index = SuppressionIndex()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return index
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if match is None:
+            continue
+        ids = {part.strip().lower() if part.strip().lower() == "all" else part.strip()
+               for part in match.group("ids").split(",")}
+        row = tok.start[0]
+        if match.group("kind") == "disable-file":
+            index.file_level |= ids
+            continue
+        index.by_line.setdefault(row, set()).update(ids)
+        # a comment-only line shields the next line too
+        before = lines[row - 1][: tok.start[1]] if row - 1 < len(lines) else ""
+        if not before.strip():
+            index.by_line.setdefault(row + 1, set()).update(ids)
+    return index

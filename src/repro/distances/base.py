@@ -20,13 +20,22 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Type
+from typing import Callable, Dict, Optional, Type
 
 import numpy as np
 
 
 class TrajectoryDistance(ABC):
-    """Interface shared by every trajectory similarity function."""
+    """Interface shared by every trajectory similarity function.
+
+    **Lower-bound contract (lint rule DIT005).**  Every concrete subclass
+    must either implement :meth:`lower_bound` — a cheap admissible bound
+    with ``lower_bound(t, q) <= compute(t, q)`` for all inputs, which the
+    pruning layers may rely on for exactness — or explicitly opt out by
+    setting the class attribute ``lower_bound_exempt`` to a one-line
+    justification string.  ``tests/test_lower_bounds.py`` pins the
+    admissibility property on random data.
+    """
 
     #: registry key, e.g. ``"dtw"``
     name: str = "abstract"
@@ -35,10 +44,22 @@ class TrajectoryDistance(ABC):
     #: True when the trie can subtract accumulated per-level distance from
     #: the threshold (DTW-style additive accumulation).
     accumulates: bool = False
+    #: set to a one-line justification to opt out of the lower-bound
+    #: contract (see class docstring)
+    lower_bound_exempt: Optional[str] = None
 
     @abstractmethod
     def compute(self, t: np.ndarray, q: np.ndarray) -> float:
         """Exact distance between point arrays ``t`` (m, d) and ``q`` (n, d)."""
+
+    def lower_bound(self, t: np.ndarray, q: np.ndarray) -> float:
+        """Cheap admissible bound: ``lower_bound(t, q) <= compute(t, q)``."""
+        if self.lower_bound_exempt is not None:
+            return 0.0
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement lower_bound or set "
+            "lower_bound_exempt (DIT005)"
+        )
 
     def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         """Distance if ``<= tau`` else ``math.inf``; default has no pruning."""

@@ -211,3 +211,9 @@ class DTWDistance(TrajectoryDistance):
 
     def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return dtw_double_direction(t, q, tau)
+
+    def lower_bound(self, t: np.ndarray, q: np.ndarray) -> float:
+        """Kim's first/last-point bound (any warping path pays both cells)."""
+        from .lb import lb_kim
+
+        return lb_kim(t, q)

@@ -101,5 +101,12 @@ class EDRDistance(TrajectoryDistance):
     def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return edr_threshold(t, q, self.epsilon, tau)
 
+    def lower_bound(self, t: np.ndarray, q: np.ndarray) -> float:
+        """At least ``|m - n|`` insertions/deletions separate trajectories
+        of different lengths, whatever ``epsilon`` admits."""
+        t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        return float(abs(t.shape[0] - q.shape[0]))
+
     def __repr__(self) -> str:
         return f"EDRDistance(epsilon={self.epsilon})"

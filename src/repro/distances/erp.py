@@ -79,5 +79,16 @@ class ERPDistance(TrajectoryDistance):
     def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return erp_threshold(t, q, self.gap, tau)
 
+    def lower_bound(self, t: np.ndarray, q: np.ndarray) -> float:
+        """The triangle-derived mass bound
+        ``|sum dist(t_i, g) - sum dist(q_j, g)| <= ERP(T, Q)`` (the same
+        bound ``erp_threshold`` uses to abandon early)."""
+        t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        g = self.gap
+        mass_t = float(np.sum(np.sqrt(np.sum((t - g[None, :]) ** 2, axis=1))))
+        mass_q = float(np.sum(np.sqrt(np.sum((q - g[None, :]) ** 2, axis=1))))
+        return abs(mass_t - mass_q)
+
     def __repr__(self) -> str:
         return f"ERPDistance(gap={self.gap.tolist()})"

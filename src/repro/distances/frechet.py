@@ -94,3 +94,12 @@ class FrechetDistance(TrajectoryDistance):
 
     def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return frechet_threshold(t, q, tau)
+
+    def lower_bound(self, t: np.ndarray, q: np.ndarray) -> float:
+        """Every coupling matches first-with-first and last-with-last, so
+        the larger endpoint distance bounds the Fréchet distance below."""
+        t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        first = float(np.sqrt(np.sum((t[0] - q[0]) ** 2)))
+        last = float(np.sqrt(np.sum((t[-1] - q[-1]) ** 2)))
+        return max(first, last)

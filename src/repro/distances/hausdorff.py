@@ -58,3 +58,14 @@ class HausdorffDistance(TrajectoryDistance):
 
     def compute_threshold(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return hausdorff_threshold(t, q, tau)
+
+    def lower_bound(self, t: np.ndarray, q: np.ndarray) -> float:
+        """Each endpoint's nearest-neighbour distance to the other set is
+        ``<= H``, so the max over the four endpoints bounds H below."""
+        t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+
+        def nn(p: np.ndarray, ys: np.ndarray) -> float:
+            return float(np.sqrt(np.min(np.sum((ys - p[None, :]) ** 2, axis=1))))
+
+        return max(nn(t[0], q), nn(t[-1], q), nn(q[0], t), nn(q[-1], t))

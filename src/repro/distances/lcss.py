@@ -56,6 +56,10 @@ class LCSSDistance(TrajectoryDistance):
 
     is_metric = False
     accumulates = False
+    #: DIT005 opt-out: ``min(m, n) - LCSS`` is always >= 0, and any bound
+    #: sharper than the trivial 0 needs an O(mn) epsilon-matching scan —
+    #: candidates go straight to the banded exact DP instead.
+    lower_bound_exempt = "no sub-quadratic nontrivial bound exists for LCSS dissimilarity"
 
     def __init__(self, epsilon: float = 0.001, delta: int = 3) -> None:
         if epsilon < 0 or delta < 0:

@@ -87,12 +87,16 @@ def angle_at(a: PointLike, b: PointLike, c: PointLike) -> float:
     segments) are treated as a straight line (angle ``pi``), i.e. weight 0,
     so stationary GPS fixes never become pivots.
     """
+    # function-level import: geometry is imported while repro.core is still
+    # initializing, so a module-level import would cycle
+    from ..core.numerics import near_zero
+
     pa, pb, pc = (np.asarray(x, dtype=np.float64) for x in (a, b, c))
     v1 = pa - pb
     v2 = pc - pb
     n1 = float(np.linalg.norm(v1))
     n2 = float(np.linalg.norm(v2))
-    if n1 == 0.0 or n2 == 0.0:
+    if near_zero(n1) or near_zero(n2):
         return math.pi
     cosine = float(np.dot(v1, v2)) / (n1 * n2)
     cosine = max(-1.0, min(1.0, cosine))

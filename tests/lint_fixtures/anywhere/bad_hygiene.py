@@ -1,0 +1,20 @@
+"""DIT006 fixture: mutable defaults and shadowed builtins."""
+
+
+def accumulate(x, acc=[]):
+    acc.append(x)
+    return acc
+
+
+def tabulate(rows, index={}):
+    index.update(rows)
+    return index
+
+
+def apply(filter, values):
+    return [v for v in values if filter(v)]
+
+
+def rename():
+    type = "trajectory"
+    return type

@@ -1,0 +1,22 @@
+"""DIT004 fixture: ordered decisions fed by set/dict iteration order."""
+
+
+def assign_partitions(ids):
+    pending = set(ids)
+    out = []
+    for traj_id in pending:
+        out.append(traj_id)
+    return out
+
+
+def first_worker(workers):
+    return min({w for w in workers})
+
+
+def cheapest(costs):
+    return min(costs.keys(), key=lambda k: costs[k])
+
+
+def collect(pending):
+    pending = {1, 2, 3}
+    return [x * 2 for x in pending]

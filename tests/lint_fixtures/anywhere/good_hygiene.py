@@ -1,0 +1,25 @@
+"""Clean counterpart to ``bad_hygiene``: None defaults, honest names.
+
+Class-namespace members may mirror builtins (``Token.type``,
+Spark-style ``frame.filter``) — they never shadow at call sites.
+"""
+
+
+def accumulate(x, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(x)
+    return acc
+
+
+def apply(predicate, values):
+    return [v for v in values if predicate(v)]
+
+
+class Frame:
+    kind: str = "frame"
+
+    def filter(self, predicate):
+        return [self]
+
+    type = kind

@@ -1,0 +1,23 @@
+"""Clean counterpart to ``bad_set_order``: sorted before anything ordered."""
+
+
+def assign_partitions(ids):
+    pending = set(ids)
+    out = []
+    for traj_id in sorted(pending):
+        out.append(traj_id)
+    return out
+
+
+def cheapest(costs):
+    return min(sorted(costs), key=lambda k: (costs[k], k))
+
+
+def has_any(ids):
+    pending = set(ids)
+    return any(i > 0 for i in pending)
+
+
+def as_labels(ids):
+    pending = set(ids)
+    return {f"t{i}" for i in pending}

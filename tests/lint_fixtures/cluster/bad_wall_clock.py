@@ -1,0 +1,19 @@
+"""DIT001 fixture: wall-clock reads inside simulated-cluster code."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def run_task(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def stamp():
+    return datetime.now()
+
+
+def aliased():
+    return pc()

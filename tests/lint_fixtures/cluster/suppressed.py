@@ -1,0 +1,20 @@
+"""Suppression fixture: every violation here is explicitly silenced."""
+
+import random
+import time
+
+
+def timed(fn):
+    start = time.perf_counter()  # ditalint: disable=DIT001 -- fixture: sanctioned read
+    result = fn()
+    # ditalint: disable=DIT001 -- comment-only line shields the next line
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def noise():
+    return random.random()  # ditalint: disable=DIT002 -- fixture: demo
+
+
+def leftovers():
+    return time.monotonic()

@@ -1,0 +1,10 @@
+"""File-level suppression fixture."""
+# ditalint: disable-file=DIT001
+
+import time
+
+
+def timed(fn):
+    start = time.time()
+    result = fn()
+    return result, time.time() - start

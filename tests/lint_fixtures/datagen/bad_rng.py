@@ -1,0 +1,21 @@
+"""DIT002 fixture: module-global and unseeded RNG in dataset code."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()
+
+
+def pick(items):
+    return random.choice(items)
+
+
+def offsets(n):
+    return np.random.rand(n)
+
+
+def fresh_rng():
+    return np.random.default_rng()

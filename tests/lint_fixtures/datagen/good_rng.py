@@ -1,0 +1,12 @@
+"""Clean counterpart to ``bad_rng``: one seeded generator, threaded through."""
+
+import numpy as np
+
+
+def offsets(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.random(n)
+
+
+def walk(n, rng):
+    return rng.normal(size=n).cumsum()

@@ -1,0 +1,17 @@
+"""DIT005 fixture: distance classes that dodge the lower-bound contract."""
+
+from repro.distances.base import TrajectoryDistance
+
+
+class BoundlessDistance(TrajectoryDistance):
+    """Subclasses the interface but registers no bound and no opt-out."""
+
+    def compute(self, t, q):
+        return 0.0
+
+
+class RogueMetric:
+    """Walks like a distance (defines compute) without the interface."""
+
+    def compute(self, t, q):
+        return 0.0

@@ -1,0 +1,15 @@
+"""DIT003 fixture: exact float equality in distance code."""
+
+import math
+
+
+def is_zero(x):
+    return x == 0.0
+
+
+def is_unreachable(d):
+    return d == math.inf
+
+
+def mismatch(a):
+    return a != 1.5

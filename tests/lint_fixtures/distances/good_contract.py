@@ -1,0 +1,18 @@
+"""Clean counterpart to ``bad_contract``: bound registered or opted out."""
+
+from repro.distances.base import TrajectoryDistance
+
+
+class BoundedDistance(TrajectoryDistance):
+    def compute(self, t, q):
+        return 0.0
+
+    def lower_bound(self, t, q):
+        return 0.0
+
+
+class ExemptDistance(TrajectoryDistance):
+    lower_bound_exempt = "fixture: no nontrivial bound exists"
+
+    def compute(self, t, q):
+        return 0.0

@@ -1,0 +1,21 @@
+"""Clean counterpart to ``bad_float_eq``: tolerance helpers and sentinels."""
+
+import math
+
+from repro.core.numerics import feq, near_zero
+
+
+def is_zero(x):
+    return near_zero(x)
+
+
+def is_unreachable(d):
+    return math.isinf(d)
+
+
+def same(a, b):
+    return feq(a, b)
+
+
+def within(d, tau):
+    return d <= tau

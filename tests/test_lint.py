@@ -1,0 +1,245 @@
+"""ditalint: every rule fires on its bad fixture, stays quiet on the good
+one, and the suppression/baseline/reporting machinery behaves."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.registry import all_rules
+from repro.devtools.lint.reporters import json_report, text_report
+from repro.devtools.lint.runner import SYNTAX_ERROR_ID, lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+
+def lint_fixture(rel):
+    """Lint one fixture; ``rel`` doubles as the path rules scope on."""
+    kept, suppressed = lint_source((FIXTURES / rel).read_text(), rel)
+    return kept, suppressed
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+# --------------------------------------------------------------------- #
+# one bad + one good fixture per rule
+# --------------------------------------------------------------------- #
+
+class TestRuleFixtures:
+    def test_dit001_wall_clock(self):
+        kept, _ = lint_fixture("cluster/bad_wall_clock.py")
+        hits = [f for f in kept if f.rule_id == "DIT001"]
+        assert len(hits) == 4  # time.perf_counter x2, datetime.now, aliased pc
+        assert any("perf_counter" in f.message for f in hits)
+
+    def test_dit001_clean(self):
+        kept, _ = lint_fixture("cluster/good_injected_clock.py")
+        assert kept == []
+
+    def test_dit002_rng(self):
+        kept, _ = lint_fixture("datagen/bad_rng.py")
+        hits = [f for f in kept if f.rule_id == "DIT002"]
+        assert len(hits) == 4  # random.random, random.choice, np.random.rand, default_rng()
+        assert any("default_rng" in f.message for f in hits)
+
+    def test_dit002_clean(self):
+        kept, _ = lint_fixture("datagen/good_rng.py")
+        assert kept == []
+
+    def test_dit003_float_equality(self):
+        kept, _ = lint_fixture("distances/bad_float_eq.py")
+        hits = [f for f in kept if f.rule_id == "DIT003"]
+        assert len(hits) == 3  # == 0.0, == math.inf, != 1.5
+
+    def test_dit003_clean(self):
+        kept, _ = lint_fixture("distances/good_float_eq.py")
+        assert kept == []
+
+    def test_dit004_set_order(self):
+        kept, _ = lint_fixture("anywhere/bad_set_order.py")
+        hits = [f for f in kept if f.rule_id == "DIT004"]
+        assert len(hits) == 4  # for-over-set, min(set), min(keys, key=), listcomp
+
+    def test_dit004_clean(self):
+        kept, _ = lint_fixture("anywhere/good_set_order.py")
+        assert kept == []
+
+    def test_dit005_contract(self):
+        kept, _ = lint_fixture("distances/bad_contract.py")
+        hits = [f for f in kept if f.rule_id == "DIT005"]
+        assert len(hits) == 2
+        messages = " ".join(f.message for f in hits)
+        assert "BoundlessDistance" in messages
+        assert "RogueMetric" in messages
+
+    def test_dit005_clean(self):
+        kept, _ = lint_fixture("distances/good_contract.py")
+        assert kept == []
+
+    def test_dit006_hygiene(self):
+        kept, _ = lint_fixture("anywhere/bad_hygiene.py")
+        hits = [f for f in kept if f.rule_id == "DIT006"]
+        # two mutable defaults, the `filter` argument, the local `type =`
+        assert len(hits) == 4
+
+    def test_dit006_clean(self):
+        kept, _ = lint_fixture("anywhere/good_hygiene.py")
+        assert kept == []
+
+    def test_scoped_rules_skip_other_dirs(self):
+        """Wall-clock reads are fine outside cluster/core/baselines."""
+        source = (FIXTURES / "cluster" / "bad_wall_clock.py").read_text()
+        kept, _ = lint_source(source, "tools/profiler.py")
+        assert "DIT001" not in rule_ids(kept)
+
+    def test_syntax_error_reported(self):
+        kept, _ = lint_source("def broken(:\n", "cluster/broken.py")
+        assert rule_ids(kept) == {SYNTAX_ERROR_ID}
+
+
+# --------------------------------------------------------------------- #
+# suppression comments
+# --------------------------------------------------------------------- #
+
+class TestSuppression:
+    def test_inline_and_next_line(self):
+        kept, suppressed = lint_fixture("cluster/suppressed.py")
+        assert {f.rule_id for f in suppressed} == {"DIT001", "DIT002"}
+        assert len(suppressed) == 3
+        # the undecorated time.monotonic() still counts
+        assert [f.rule_id for f in kept] == ["DIT001"]
+        assert "monotonic" in kept[0].message
+
+    def test_file_level(self):
+        kept, suppressed = lint_fixture("cluster/suppressed_file.py")
+        assert kept == []
+        assert len(suppressed) == 2  # both time.time() calls
+
+    def test_magic_text_in_string_is_ignored(self):
+        source = (
+            "import time\n"
+            "NOTE = '# ditalint: disable-file=DIT001'\n"
+            "t = time.time()\n"
+        )
+        kept, suppressed = lint_source(source, "cluster/strings.py")
+        assert rule_ids(kept) == {"DIT001"}
+        assert suppressed == []
+
+
+# --------------------------------------------------------------------- #
+# baseline
+# --------------------------------------------------------------------- #
+
+class TestBaseline:
+    def test_round_trip_grandfathers_everything(self, tmp_path):
+        result = lint_paths([FIXTURES / "datagen"], root=REPO_ROOT)
+        assert result.findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(result.findings, justification="fixture").write(path)
+
+        again = lint_paths([FIXTURES / "datagen"], baseline=Baseline.load(path), root=REPO_ROOT)
+        assert again.findings == []
+        assert len(again.baselined) == len(result.findings)
+        assert again.ok and again.exit_code == 0
+
+    def test_partial_baseline_keeps_the_rest(self, tmp_path):
+        result = lint_paths([FIXTURES / "datagen"], root=REPO_ROOT)
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(result.findings[:1], justification="fixture").write(path)
+
+        again = lint_paths([FIXTURES / "datagen"], baseline=Baseline.load(path), root=REPO_ROOT)
+        assert len(again.baselined) == 1
+        assert len(again.findings) == len(result.findings) - 1
+        assert again.exit_code == 1
+
+    def test_fingerprint_survives_line_shifts(self, tmp_path):
+        source = "import time\n\ndef f():\n    return time.time()\n"
+        kept, _ = lint_source(source, "cluster/shift.py")
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(kept, justification="fixture").write(path)
+
+        shifted = "import time\n\n# a new comment pushes everything down\n\ndef f():\n    return time.time()\n"
+        kept2, _ = lint_source(shifted, "cluster/shift.py")
+        new, old = Baseline.load(path).split(kept2)
+        assert new == [] and len(old) == 1
+
+    def test_entries_require_justification(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "DIT001", "path": "x.py", "message": "m"}],
+        }))
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(path)
+
+
+# --------------------------------------------------------------------- #
+# reporters + CLI
+# --------------------------------------------------------------------- #
+
+class TestReporting:
+    def test_json_report_shape(self):
+        result = lint_paths([FIXTURES / "distances"], root=REPO_ROOT)
+        payload = json.loads(json_report(result))
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 4
+        assert {"rule", "path", "line", "col", "message"} <= set(payload["findings"][0])
+        assert all(f["path"].startswith("tests/lint_fixtures/") for f in payload["findings"])
+
+    def test_text_report_mentions_counts(self):
+        result = lint_paths([FIXTURES / "cluster"], root=REPO_ROOT)
+        text = text_report(result)
+        assert "files checked" in text
+        assert "suppressed" in text
+
+    def test_cli_exit_codes(self, capsys):
+        assert lint_main([str(FIXTURES / "datagen" / "bad_rng.py"), "--no-baseline"]) == 1
+        assert lint_main([str(FIXTURES / "datagen" / "good_rng.py"), "--no-baseline"]) == 0
+        capsys.readouterr()
+
+    def test_cli_missing_path_is_a_usage_error(self, capsys):
+        assert lint_main(["/nonexistent/nope.py", "--no-baseline"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.rule_id in out
+        assert len(all_rules()) >= 6
+
+    def test_cli_write_baseline(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        bad = str(FIXTURES / "datagen" / "bad_rng.py")
+        assert lint_main([bad, "--baseline", str(path), "--write-baseline"]) == 0
+        assert path.exists()
+        # with the written baseline the same input now passes
+        assert lint_main([bad, "--baseline", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_cli_json_format(self, capsys):
+        lint_main([str(FIXTURES / "datagen" / "bad_rng.py"), "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+
+
+# --------------------------------------------------------------------- #
+# the acceptance bar: the tree itself lints clean
+# --------------------------------------------------------------------- #
+
+class TestRepositoryIsClean:
+    def test_src_has_no_unsuppressed_findings(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        result = lint_paths([REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT)
+        assert result.ok, "\n".join(f.render() for f in result.findings)
+
+    def test_baseline_carries_no_stale_entries(self):
+        """Entries that no longer match any finding should be deleted."""
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        result = lint_paths([REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT)
+        assert len(result.baselined) == len(baseline.entries)

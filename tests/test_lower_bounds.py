@@ -1,0 +1,67 @@
+"""DIT005's runtime half: every registered bound really is a lower bound.
+
+The static rule guarantees each distance class *declares* a bound (or opts
+out with a justification); this suite pins admissibility —
+``lower_bound(t, q) <= compute(t, q)`` — on random data, because the trie's
+pruning is only exact when that inequality holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distances import get_distance
+from repro.distances.base import TrajectoryDistance
+
+BOUNDED = ["dtw", "frechet", "hausdorff", "edr", "erp"]
+_TOL = 1e-9
+
+
+def random_pair(rng):
+    m = int(rng.integers(2, 24))
+    n = int(rng.integers(2, 24))
+    t = rng.random((m, 2)).cumsum(axis=0) * 0.01
+    q = rng.random((n, 2)).cumsum(axis=0) * 0.01
+    return t, q
+
+
+class TestAdmissibility:
+    @pytest.mark.parametrize("name", BOUNDED)
+    def test_lower_bound_never_exceeds_distance(self, name):
+        dist = get_distance(name)
+        rng = np.random.default_rng(20260805)
+        for _ in range(50):
+            t, q = random_pair(rng)
+            lb = dist.lower_bound(t, q)
+            exact = dist.compute(t, q)
+            assert lb <= exact + _TOL, f"{name}: lb {lb} > exact {exact}"
+
+    @pytest.mark.parametrize("name", BOUNDED)
+    def test_lower_bound_is_nonnegative(self, name):
+        dist = get_distance(name)
+        rng = np.random.default_rng(5)
+        t, q = random_pair(rng)
+        assert dist.lower_bound(t, q) >= 0.0
+
+    def test_identical_trajectories_bound_zero(self):
+        rng = np.random.default_rng(11)
+        t, _ = random_pair(rng)
+        for name in BOUNDED:
+            assert get_distance(name).lower_bound(t, t) <= _TOL
+
+
+class TestExemption:
+    def test_lcss_opts_out_with_justification(self):
+        dist = get_distance("lcss")
+        assert dist.lower_bound_exempt
+        rng = np.random.default_rng(3)
+        t, q = random_pair(rng)
+        # the exempt default is the trivial (still admissible) bound
+        assert dist.lower_bound(t, q) == 0.0
+
+    def test_unexempt_subclass_must_implement(self):
+        class Incomplete(TrajectoryDistance):
+            def compute(self, t, q):
+                return 0.0
+
+        with pytest.raises(NotImplementedError, match="DIT005"):
+            Incomplete().lower_bound(np.zeros((2, 2)), np.zeros((2, 2)))
