@@ -1,0 +1,214 @@
+"""Kernel micro-benchmarks: wavefront DP vs. the reference loops.
+
+Times the four vectorized distance kernels (DTW, discrete Fréchet, EDR,
+ERP) against their ``*_reference`` per-cell Python loops across trajectory
+lengths, the threshold/early-abandon variants, and the batched
+filter-verification stages (Lemma 5.4 + Lemma 5.6 as matrix ops) against
+the per-pair loop.  Emits ``BENCH_kernels.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke    # CI-sized
+
+Timings are min-of-reps (the usual micro-benchmark estimator: the minimum
+is the least noisy statistic of a timing distribution whose noise is
+strictly additive).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.core.verify import (
+    VerificationData,
+    Verifier,
+    cell_bound_dtw,
+    mbr_coverage_ok,
+)
+from repro.datagen import beijing_like
+from repro.distances import (
+    dtw,
+    dtw_reference,
+    dtw_threshold,
+    dtw_threshold_reference,
+    edr,
+    edr_reference,
+    edr_threshold,
+    edr_threshold_reference,
+    erp,
+    erp_reference,
+    erp_threshold,
+    erp_threshold_reference,
+    frechet,
+    frechet_reference,
+    frechet_threshold,
+    frechet_threshold_reference,
+)
+from repro.kernels import TrajectoryBlock, batch_cell_bounds, batch_mbr_coverage
+from repro.core.numerics import slack
+
+FULL_LENGTHS = [64, 128, 256, 512]
+SMOKE_LENGTHS = [32, 64]
+EDR_EPS = 0.002
+CELL_SIZE = 0.004
+
+
+def walk(rng: np.random.Generator, n: int, d: int = 2) -> np.ndarray:
+    """A GPS-like random walk: small normal steps from a uniform start."""
+    start = rng.uniform(0.0, 1.0, size=d)
+    steps = rng.normal(scale=1e-3, size=(n, d))
+    steps[0] = 0.0
+    return start + np.cumsum(steps, axis=0)
+
+
+def best_of(fn: Callable[[], object], reps: int) -> float:
+    """Minimum wall time of ``reps`` runs of ``fn`` (seconds)."""
+    best = np.inf
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_pair(ref: Callable, vec: Callable, a, b, reps: int, *args) -> Dict[str, float]:
+    ref_s = best_of(lambda: ref(a, b, *args), reps)
+    vec_s = best_of(lambda: vec(a, b, *args), reps)
+    return {
+        "ref_s": ref_s,
+        "vec_s": vec_s,
+        "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
+    }
+
+
+def bench_kernels(lengths: List[int], reps: int, rng: np.random.Generator) -> Dict[str, list]:
+    erp_gap = np.zeros(2)
+    kernels = {
+        "dtw": (dtw_reference, dtw, ()),
+        "frechet": (frechet_reference, frechet, ()),
+        "edr": (edr_reference, edr, (EDR_EPS,)),
+        "erp": (erp_reference, erp, (erp_gap,)),
+    }
+    out: Dict[str, list] = {name: [] for name in kernels}
+    for n in lengths:
+        a, b = walk(rng, n), walk(rng, n)
+        for name, (ref, vec, args) in kernels.items():
+            row = {"n": n, **bench_pair(ref, vec, a, b, reps, *args)}
+            out[name].append(row)
+            print(f"  {name:<8} n={n:<5} ref {row['ref_s']*1e3:9.3f} ms   "
+                  f"vec {row['vec_s']*1e3:8.3f} ms   {row['speedup']:6.1f}x")
+    return out
+
+
+def bench_threshold(lengths: List[int], reps: int, rng: np.random.Generator) -> Dict[str, list]:
+    """Threshold variants at a tau that triggers genuine early abandon
+    (three-quarters of the exact distance) — the pruning path both sides
+    must take, not the degenerate accept-everything case."""
+    erp_gap = np.zeros(2)
+    variants = {
+        "dtw_threshold": (dtw_threshold_reference, dtw_threshold, dtw, ()),
+        "frechet_threshold": (frechet_threshold_reference, frechet_threshold, frechet, ()),
+        "edr_threshold": (edr_threshold_reference, edr_threshold, edr, (EDR_EPS,)),
+        "erp_threshold": (erp_threshold_reference, erp_threshold, erp, (erp_gap,)),
+    }
+    out: Dict[str, list] = {name: [] for name in variants}
+    for n in lengths:
+        a, b = walk(rng, n), walk(rng, n)
+        for name, (ref, vec, exact, args) in variants.items():
+            tau = 0.75 * float(exact(a, b, *args))
+            row = {"n": n, "tau": tau, **bench_pair(ref, vec, a, b, reps, *args, tau)}
+            out[name].append(row)
+            print(f"  {name:<18} n={n:<5} ref {row['ref_s']*1e3:9.3f} ms   "
+                  f"vec {row['vec_s']*1e3:8.3f} ms   {row['speedup']:6.1f}x")
+    return out
+
+
+def bench_batch_filter(n_trajs: int, reps: int) -> Dict[str, float]:
+    """The Lemma 5.4 + 5.6 filter stages over a whole candidate list:
+    per-pair loop vs. the stacked matrix path on identical inputs."""
+    data = list(beijing_like(n_trajs, seed=7))
+    verification = {t.traj_id: VerificationData.of(t, CELL_SIZE) for t in data}
+    block = TrajectoryBlock.from_verification(verification)
+    q = data[0]
+    q_data = verification[q.traj_id]
+    tau = 0.01
+    tau_s = slack(tau)
+    ids = [t.traj_id for t in data]
+    rows = block.rows_for(ids)
+
+    def loop() -> int:
+        kept = 0
+        for t in data:
+            t_data = verification[t.traj_id]
+            if not mbr_coverage_ok(t_data.mbr, q_data.mbr, tau):
+                continue
+            if cell_bound_dtw(t_data.cells, q_data.cells) > tau_s:
+                continue
+            kept += 1
+        return kept
+
+    def batch() -> int:
+        mask = batch_mbr_coverage(block, rows, q_data.mbr.low, q_data.mbr.high, tau_s)
+        keep = rows[np.nonzero(mask)[0]]
+        if keep.size:
+            bounds = batch_cell_bounds(block, keep, q_data.cells, "sum")
+            return int((bounds <= tau_s).sum())
+        return 0
+
+    assert loop() == batch(), "batched filter disagrees with the per-pair loop"
+    loop_s = best_of(loop, reps)
+    batch_s = best_of(batch, reps)
+    row = {
+        "n_candidates": n_trajs,
+        "loop_s": loop_s,
+        "batch_s": batch_s,
+        "speedup": loop_s / batch_s if batch_s > 0 else float("inf"),
+    }
+    print(f"  filter stages over {n_trajs} candidates: loop {loop_s*1e3:8.3f} ms   "
+          f"batch {batch_s*1e3:8.3f} ms   {row['speedup']:6.1f}x")
+    return row
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="CI-sized run (short lengths, few reps)")
+    ap.add_argument("--out", type=Path, default=None, help="output JSON path")
+    args = ap.parse_args()
+    lengths = SMOKE_LENGTHS if args.smoke else FULL_LENGTHS
+    reps = 3 if args.smoke else 5
+    out_path = args.out or Path(__file__).resolve().parent / "BENCH_kernels.json"
+    rng = np.random.default_rng(7)
+
+    print("== exact kernels (wavefront vs reference loop) ==")
+    kernels = bench_kernels(lengths, reps, rng)
+    print("== threshold / early-abandon variants ==")
+    threshold = bench_threshold(lengths, reps, rng)
+    print("== batched filter-verification stages ==")
+    batch_filter = bench_batch_filter(64 if args.smoke else 300, reps)
+
+    result = {
+        "meta": {
+            "smoke": args.smoke,
+            "reps": reps,
+            "lengths": lengths,
+            "seed": 7,
+            "timer": "min-of-reps perf_counter",
+        },
+        "kernels": kernels,
+        "threshold": threshold,
+        "batch_filter": batch_filter,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

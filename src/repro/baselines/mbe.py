@@ -72,22 +72,68 @@ class MBEIndex:
         self._envelopes: Dict[int, List[MBR]] = {
             t.traj_id: envelope(t, points_per_box) for t in trajs
         }
+        # stack every envelope box into contiguous (B, d) corner arrays with
+        # CSR offsets per trajectory, so the linear scan of lower bounds is
+        # one chunked matrix computation instead of a per-box Python loop
+        lows: List[np.ndarray] = []
+        highs: List[np.ndarray] = []
+        lens = np.empty(len(trajs), dtype=np.int64)
+        for i, t in enumerate(trajs):
+            env = self._envelopes[t.traj_id]
+            lens[i] = len(env)
+            lows.extend(box.low for box in env)
+            highs.extend(box.high for box in env)
+        self._box_low = np.asarray(lows)
+        self._box_high = np.asarray(highs)
+        self._box_starts = np.zeros(len(trajs) + 1, dtype=np.int64)
+        np.cumsum(lens, out=self._box_starts[1:])
         self.build_time_s = watch.elapsed()
-        self._n_boxes = sum(len(e) for e in self._envelopes.values())
+        self._n_boxes = int(self._box_starts[-1])
 
     def __len__(self) -> int:
         return len(self._trajs)
 
     # ------------------------------------------------------------------ #
 
+    def lower_bounds(self, q: np.ndarray, max_elems: int = 1 << 20) -> np.ndarray:
+        """Envelope lower bound against every indexed trajectory at once.
+
+        Chunked over whole trajectories so the (boxes, query points, d)
+        intermediate never exceeds ``max_elems`` entries; each chunk clamps
+        the query points into every box (the same formula as
+        ``MBR.min_dist_point``) and reduces per trajectory with
+        ``np.minimum.reduceat``.
+        """
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        n_traj = len(self._trajs)
+        nq, d = q.shape
+        starts = self._box_starts
+        bounds = np.empty(n_traj)
+        lead = 0
+        while lead < n_traj:
+            tail = lead + 1
+            boxes = int(starts[lead + 1] - starts[lead])
+            while tail < n_traj and (boxes + int(starts[tail + 1] - starts[tail])) * nq * d <= max_elems:
+                boxes += int(starts[tail + 1] - starts[tail])
+                tail += 1
+            b_lo = int(starts[lead])
+            b_hi = b_lo + boxes
+            clamped = np.clip(q[None, :, :], self._box_low[b_lo:b_hi, None, :], self._box_high[b_lo:b_hi, None, :])
+            clamped -= q[None, :, :]
+            dist = np.sqrt(np.sum(clamped * clamped, axis=2))
+            local_starts = (starts[lead:tail] - b_lo).astype(np.int64)
+            per_point = np.minimum.reduceat(dist, local_starts, axis=0)
+            if self._aggregate == "sum":
+                bounds[lead:tail] = per_point.sum(axis=1)
+            else:
+                bounds[lead:tail] = per_point.max(axis=1)
+            lead = tail
+        return bounds
+
     def candidates(self, query: Trajectory, tau: float) -> List[Trajectory]:
         """Trajectories whose envelope bound does not exceed ``tau``."""
-        out: List[Trajectory] = []
-        for t in self._trajs:
-            lb = envelope_lower_bound(self._envelopes[t.traj_id], query.points, self._aggregate)
-            if lb <= tau:
-                out.append(t)
-        return out
+        bounds = self.lower_bounds(query.points)
+        return [t for t, lb in zip(self._trajs, bounds) if lb <= tau]
 
     def search(self, query: Trajectory, tau: float) -> List[Match]:
         matches: List[Match] = []

@@ -83,6 +83,10 @@ class DITAEngine:
         self.tries: Dict[int, TrieIndex] = {
             pid: TrieIndex(part, self.config) for pid, part in self.partitions.items()
         }
+        # stack each partition's verification artifacts now so the first
+        # query doesn't pay the batch-block build
+        for trie in self.tries.values():
+            trie.batch_block()
         self.build_time_s = watch.elapsed()
         self.verifier = self.adapter.make_verifier(
             use_mbr_coverage=self.config.use_mbr_coverage,

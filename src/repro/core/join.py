@@ -201,6 +201,13 @@ class JoinExecutor:
             shipped = [t for t in senders if _relevant(t, recv_meta, tau, self.adapter)]
             if not shipped:
                 continue
+            # build each shipped trajectory's verification artifacts exactly
+            # once, before chunking — the same trajectory may be queried by
+            # several division replicas and across edges in both directions
+            for t in shipped:
+                data_key = (edge.direction == "qt", t.traj_id)
+                if data_key not in sender_data:
+                    sender_data[data_key] = VerificationData.of(t, self.config.cell_size)
             nbytes = sum(t.nbytes() for t in shipped)
             src_pid = self._cluster_pid(send_node)
             dst_pid = self._cluster_pid(recv_node)
@@ -225,11 +232,7 @@ class JoinExecutor:
 
                 def run_chunk(chunk=chunk, searcher=searcher, flip=flip, direction=edge.direction):
                     for t in chunk:
-                        data_key = (direction == "qt", t.traj_id)
-                        t_data = sender_data.get(data_key)
-                        if t_data is None:
-                            t_data = VerificationData.of(t, self.config.cell_size)
-                            sender_data[data_key] = t_data
+                        t_data = sender_data[(direction == "qt", t.traj_id)]
                         if stats is not None:
                             sstats = SearchStats()
                             matches = searcher.search(t, tau, query_data=t_data, stats=sstats)

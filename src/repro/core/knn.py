@@ -18,8 +18,9 @@ distance function (ties broken by trajectory id).
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +28,32 @@ from ..trajectory.trajectory import Trajectory
 
 #: one result: (trajectory, distance)
 Neighbour = Tuple[Trajectory, float]
+
+
+def _exact_top_k(engine, query: Trajectory, k: int, pool: Sequence[Trajectory]) -> List[Neighbour]:
+    """The ``k`` nearest pool members by (distance, id), exact.
+
+    Once ``k`` seeds are in hand, every further trajectory is measured with
+    the adapter's *threshold* kernel at the current k-th distance, so the
+    early-abandoning sweep rejects non-contenders after touching only a
+    fraction of the DP matrix — same answers as computing every distance in
+    full, identical tie-breaking.
+    """
+    dist = engine.adapter.distance()
+    exact = engine.adapter.exact
+    heap: List[Tuple[float, int, Trajectory]] = []  # max-heap via (-d, -id)
+    for t in pool:
+        if len(heap) < k:
+            d = dist.compute(t.points, query.points)
+            heapq.heappush(heap, (-d, -t.traj_id, t))
+            continue
+        neg_d, neg_id, _ = heap[0]
+        d = exact(t.points, query.points, -neg_d)
+        if math.isfinite(d) and (d, t.traj_id) < (-neg_d, -neg_id):
+            heapq.heapreplace(heap, (-d, -t.traj_id, t))
+    out = [(t, -neg_d) for neg_d, _, t in heap]
+    out.sort(key=lambda m: (m[1], m[0].traj_id))
+    return out
 
 
 def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
@@ -37,7 +64,6 @@ def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
     upper bound on the k-NN radius) and the smallest seed distance (the
     scale at which the progressive search starts).
     """
-    dist = engine.adapter.distance()
     # spend the exact-distance budget on the trajectories whose *first
     # points* are nearest the query's — similar trajectories share first
     # points, so this reliably captures near neighbours; ranking the whole
@@ -50,10 +76,10 @@ def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
     firsts = np.asarray([t.first for t in pool])
     gaps = np.sqrt(np.sum((firsts - np.asarray(query.first)[None, :]) ** 2, axis=1))
     order = np.argsort(gaps, kind="stable")[:budget]
-    seeds = sorted(dist.compute(pool[int(i)].points, query.points) for i in order)
+    seeds = _exact_top_k(engine, query, k, [pool[int(i)] for i in order])
     if len(seeds) < k:
         return math.inf, 0.0
-    return seeds[k - 1], seeds[0]
+    return seeds[-1][1], seeds[0][1]
 
 
 def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
@@ -65,15 +91,9 @@ def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
     k = min(k, n_total)
     tau_hi, tau_lo = _seed_tau(engine, query, k)
     if not math.isfinite(tau_hi):
-        # degenerate fallback: tiny dataset; compute everything
-        dist = engine.adapter.distance()
-        all_matches = [
-            (t, dist.compute(t.points, query.points))
-            for part in engine.partitions.values()
-            for t in part
-        ]
-        all_matches.sort(key=lambda m: (m[1], m[0].traj_id))
-        return all_matches[:k]
+        # degenerate fallback: tiny dataset; rank everything
+        pool = [t for part in engine.partitions.values() for t in part]
+        return _exact_top_k(engine, query, k, pool)
     # progressive widening: start near the 1-NN scale (never more than a
     # few doublings below tau_hi) and double toward the guaranteed-
     # sufficient radius tau_hi (the k-th seed distance) — cheap early
@@ -94,14 +114,8 @@ def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
                 continue
             break
         tau = min(tau * 2, tau_hi)
-    dist = engine.adapter.distance()
-    all_matches = [
-        (t, dist.compute(t.points, query.points))
-        for part in engine.partitions.values()
-        for t in part
-    ]
-    all_matches.sort(key=lambda m: (m[1], m[0].traj_id))
-    return all_matches[:k]
+    pool = [t for part in engine.partitions.values() for t in part]
+    return _exact_top_k(engine, query, k, pool)
 
 
 def knn_join(left_engine, right_engine, k: int) -> List[Tuple[int, int, float]]:

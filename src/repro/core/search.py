@@ -67,14 +67,15 @@ class LocalSearcher:
         if query_data is None:
             query_data = VerificationData.of(query, self.trie.config.cell_size)
         vstats = stats.verify if stats is not None else None
-        matches: List[Match] = []
-        for t in candidates:
-            d = self.verifier.verify(
-                t, query, tau, self.trie.verification.get(t.traj_id), query_data, vstats
-            )
-            if d <= tau:
-                matches.append((t, d))
-        return matches
+        return self.verifier.verify_batch(
+            candidates,
+            query,
+            tau,
+            query_data,
+            block=self.trie.batch_block(),
+            stats=vstats,
+            data_lookup=self.trie.verification.get,
+        )
 
     def count_candidates(self, query: Trajectory, tau: float) -> int:
         """Candidate count only (the Figure 17 pruning-power metric)."""

@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from ..geometry.mbr import MBR
+from ..kernels.batch import TrajectoryBlock
 from ..spatial.str_pack import str_partition
 from ..trajectory.trajectory import Trajectory
 from .adapters import FIRST, LAST, PIVOT, FilterState, IndexAdapter
@@ -105,7 +106,17 @@ class TrieIndex:
         self.verification: Dict[int, VerificationData] = {
             t.traj_id: VerificationData.of(t, cfg.cell_size) for t in trajs
         }
+        self._block: Optional[TrajectoryBlock] = None
         self.root = self._build(trajs, level=0) if _root is None else _root
+
+    def batch_block(self) -> TrajectoryBlock:
+        """The partition's verification artifacts stacked for the batched
+        filter stages (:mod:`repro.kernels.batch`).  Built lazily from the
+        ``verification`` dict (deterministic insertion order) and cached;
+        :meth:`insert` / :meth:`remove` invalidate the cache."""
+        if self._block is None or len(self._block) != len(self.verification):
+            self._block = TrajectoryBlock.from_verification(self.verification)
+        return self._block
 
     # ------------------------------------------------------------------ #
     # construction
@@ -234,6 +245,7 @@ class TrieIndex:
         seq = indexing_points(traj, cfg.num_pivots, cfg.pivot_strategy)
         self._index_seqs[traj.traj_id] = seq
         self.verification[traj.traj_id] = VerificationData.of(traj, cfg.cell_size)
+        self._block = None  # stacked batch arrays are stale now
         self._n += 1
         node = self.root
         level = 0
@@ -299,6 +311,7 @@ class TrieIndex:
         if removed:
             del self._index_seqs[traj_id]
             del self.verification[traj_id]
+            self._block = None  # stacked batch arrays are stale now
             self._n -= 1
         return removed
 

@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..geometry.cell import Cell, CellSet
 from ..geometry.mbr import MBR
+from ..kernels.batch import TrajectoryBlock, batch_cell_bounds, batch_mbr_coverage
 from ..trajectory.trajectory import Trajectory
 
 _INF = math.inf
@@ -103,6 +104,14 @@ class Verifier:
         self.cell_bound_fn = cell_bound_fn
         self.use_mbr_coverage = use_mbr_coverage
         self.use_cell_filter = use_cell_filter and cell_bound_fn is not None
+        # the two built-in bounds have batched equivalents; anything custom
+        # drops verify_batch back to the per-pair pipeline
+        if cell_bound_fn is cell_bound_dtw:
+            self.cell_bound_kind: Optional[str] = "sum"
+        elif cell_bound_fn is cell_bound_frechet:
+            self.cell_bound_kind = "max"
+        else:
+            self.cell_bound_kind = None
 
     def verify(
         self,
@@ -135,3 +144,79 @@ class Verifier:
         if d <= tau and stats is not None:
             stats.accepted += 1
         return d
+
+    def verify_batch(
+        self,
+        candidates: Sequence[Trajectory],
+        q: Trajectory,
+        tau: float,
+        q_data: VerificationData,
+        block: Optional[TrajectoryBlock] = None,
+        stats: Optional[VerifyStats] = None,
+        data_lookup=None,
+    ) -> List[Tuple[Trajectory, float]]:
+        """Staged verification of a whole candidate list at once.
+
+        The Lemma 5.4 and Lemma 5.6 filter stages run as matrix operations
+        over ``block`` (the receiver trie's stacked verification artifacts);
+        only survivors reach ``exact_fn``.  Returns the accepted
+        ``(trajectory, distance)`` pairs in candidate order — the same
+        answers and the same :class:`VerifyStats` counts as calling
+        :meth:`verify` per pair.  Candidates absent from ``block`` (or every
+        candidate, when the verifier uses a custom cell bound with no batch
+        equivalent) fall back to the per-pair pipeline;
+        ``data_lookup(traj_id)`` supplies their :class:`VerificationData`
+        when available.
+        """
+        if not candidates:
+            return []
+        accepted: dict = {}
+
+        def per_pair(t: Trajectory) -> None:
+            t_data = data_lookup(t.traj_id) if data_lookup is not None else None
+            d = self.verify(t, q, tau, t_data, q_data, stats)
+            if d <= tau:
+                accepted[t.traj_id] = d
+
+        batchable = block is not None and (
+            not self.use_cell_filter or self.cell_bound_kind is not None
+        )
+        if not batchable:
+            for t in candidates:
+                per_pair(t)
+            return [(t, accepted[t.traj_id]) for t in candidates if t.traj_id in accepted]
+        in_block = [t for t in candidates if t.traj_id in block]
+        survivors = in_block
+        if in_block:
+            if stats is not None:
+                stats.pairs += len(in_block)
+            rows = block.rows_for([t.traj_id for t in in_block])
+            if self.use_mbr_coverage:
+                mask = batch_mbr_coverage(
+                    block, rows, q_data.mbr.low, q_data.mbr.high, _slack(tau)
+                )
+                if stats is not None:
+                    stats.pruned_by_mbr += int(len(in_block) - int(mask.sum()))
+                keep = np.nonzero(mask)[0]
+                survivors = [in_block[int(i)] for i in keep]
+                rows = rows[keep]
+            if self.use_cell_filter and survivors:
+                bounds = batch_cell_bounds(
+                    block, rows, q_data.cells, self.cell_bound_kind
+                )
+                mask = bounds <= _slack(tau)
+                if stats is not None:
+                    stats.pruned_by_cells += int(len(survivors) - int(mask.sum()))
+                survivors = [t for t, ok in zip(survivors, mask) if ok]
+            for t in survivors:
+                if stats is not None:
+                    stats.exact_computed += 1
+                d = self.exact_fn(t.points, q.points, tau)
+                if d <= tau:
+                    if stats is not None:
+                        stats.accepted += 1
+                    accepted[t.traj_id] = d
+        for t in candidates:
+            if t.traj_id not in block:
+                per_pair(t)
+        return [(t, accepted[t.traj_id]) for t in candidates if t.traj_id in accepted]

@@ -2,10 +2,12 @@
 
 The paper uses DTW as the default distance.  We provide:
 
-* :func:`dtw` — the exact O(mn) dynamic program of Definition 2.2;
+* :func:`dtw` — the exact O(mn) dynamic program of Definition 2.2,
+  executed as a vectorized anti-diagonal wavefront
+  (:mod:`repro.kernels.wavefront`);
 * :func:`dtw_threshold` — ``DTW(T, Q, tau)``, the threshold-constrained
-  version used during verification: rows whose minimum accumulated value
-  exceeds ``tau`` abandon the computation early;
+  version used during verification: cells whose accumulated value exceeds
+  ``tau`` are pruned and the sweep abandons early;
 * :func:`dtw_double_direction` — the Section 5.3.3 "double-direction
   verification": the DP is run simultaneously from the first points and
   (backwards) from the last points and joined in the middle, so a pair whose
@@ -13,6 +15,10 @@ The paper uses DTW as the default distance.  We provide:
   the matrix;
 * :func:`dtw_window` — a Sakoe-Chiba banded DTW (extension; not used by the
   paper's experiments but standard in the time-series literature it cites).
+
+The original per-cell Python loops are retained as :func:`dtw_reference`
+and :func:`dtw_threshold_reference` for differential testing and for the
+``benchmarks/bench_kernels.py`` baseline.
 """
 
 from __future__ import annotations
@@ -22,6 +28,11 @@ import math
 import numpy as np
 
 from ..geometry.point import pairwise_distances
+from ..kernels.wavefront import (
+    dtw_wavefront,
+    dtw_wavefront_last_row,
+    dtw_wavefront_threshold,
+)
 from .base import TrajectoryDistance, register_distance
 
 _INF = math.inf
@@ -42,10 +53,17 @@ def _check(t: np.ndarray, q: np.ndarray) -> tuple:
 
 
 def dtw(t: np.ndarray, q: np.ndarray) -> float:
-    """Exact DTW via the classic cumulative-cost dynamic program.
+    """Exact DTW: ``v[i, j] = w[i, j] + min(v[i-1, j-1], v[i-1, j],
+    v[i, j-1])`` with accumulated first row/column (Definition 2.2),
+    evaluated one anti-diagonal at a time."""
+    t, q = _check(t, q)
+    return dtw_wavefront(t, q)
 
-    ``v[i, j] = w[i, j] + min(v[i-1, j-1], v[i-1, j], v[i, j-1])`` with the
-    first row/column accumulated, matching Definition 2.2's base cases.
+
+def dtw_reference(t: np.ndarray, q: np.ndarray) -> float:
+    """Exact DTW via the classic per-cell cumulative-cost loop.
+
+    Kept as the differential-testing oracle for :func:`dtw`.
     """
     t, q = _check(t, q)
     w = pairwise_distances(t, q)
@@ -72,8 +90,14 @@ def dtw_threshold(t: np.ndarray, q: np.ndarray, tau: float) -> float:
 
     Early abandon: any cell whose accumulated cost exceeds ``tau`` can never
     be on a path of total cost ``<= tau`` (costs are non-negative), so it is
-    set to ``inf``; when a whole row becomes ``inf`` the pair is rejected.
+    pruned; when the wavefront goes fully dead the pair is rejected.
     """
+    t, q = _check(t, q)
+    return dtw_wavefront_threshold(t, q, tau)
+
+
+def dtw_threshold_reference(t: np.ndarray, q: np.ndarray, tau: float) -> float:
+    """Row-by-row early-abandon DTW loop; oracle for :func:`dtw_threshold`."""
     t, q = _check(t, q)
     w = pairwise_distances(t, q)
     m, n = w.shape
@@ -106,7 +130,8 @@ def dtw_threshold(t: np.ndarray, q: np.ndarray, tau: float) -> float:
 
 def _forward_rows(w: np.ndarray, rows: int, tau: float):
     """Forward DP over the first ``rows`` rows of ``w``; returns the last
-    computed row (or None on early abandon)."""
+    computed row (or None on early abandon).  Loop-based oracle for
+    :func:`repro.kernels.wavefront.dtw_wavefront_last_row`."""
     n = w.shape[1]
     prev = np.cumsum(w[0, :])
     prev[prev > tau] = _INF
@@ -143,7 +168,8 @@ def dtw_double_direction(t: np.ndarray, q: np.ndarray, tau: float) -> float:
     ``DTW = min over j of ( F[h][j] + min(B[h+1][j], B[h+1][j+1]) )``
 
     where ``F`` is the forward cumulative row and ``B`` the backward one.
-    Returns the exact DTW when ``<= tau``, else ``inf``.
+    Returns the exact DTW when ``<= tau``, else ``inf``.  Both half-sweeps
+    use the wavefront kernel.
     """
     t, q = _check(t, q)
     m, n = t.shape[0], q.shape[0]
@@ -152,27 +178,22 @@ def dtw_double_direction(t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return total if total <= tau else _INF
     w = pairwise_distances(t, q)
     h = m // 2  # forward covers rows 0..h-1, backward rows h..m-1
-    fwd = _forward_rows(w, h, tau)
+    fwd = dtw_wavefront_last_row(w, h, tau)
     if fwd is None:
         return _INF
     # backward DP over rows h..m-1 equals forward DP over the reversed block
     w_back = w[h:, :][::-1, ::-1]
-    bwd_rev = _forward_rows(w_back, w_back.shape[0], tau)
+    bwd_rev = dtw_wavefront_last_row(w_back, w_back.shape[0], tau)
     if bwd_rev is None:
         return _INF
     bwd = bwd_rev[::-1]  # bwd[j] = DTW(T[h:], Q[j:]) capped at tau
-    best = _INF
-    for j in range(n):
-        f = fwd[j]
-        if not np.isfinite(f):
-            continue
-        join = bwd[j]
-        if j + 1 < n and bwd[j + 1] < join:
-            join = bwd[j + 1]
-        if np.isfinite(join):
-            total = f + join
-            if total < best:
-                best = total
+    join = bwd.copy()
+    np.minimum(join[:-1], bwd[1:], out=join[:-1])
+    total = fwd + join
+    finite = np.isfinite(total)
+    if not finite.any():
+        return _INF
+    best = float(np.min(total[finite]))
     return best if best <= tau else _INF
 
 

@@ -14,13 +14,24 @@ import math
 import numpy as np
 
 from ..geometry.point import pairwise_distances
+from ..kernels.wavefront import edr_wavefront, edr_wavefront_threshold
 from .base import TrajectoryDistance, register_distance
 
 _INF = math.inf
 
 
 def edr(t: np.ndarray, q: np.ndarray, epsilon: float) -> int:
-    """Exact EDR via the O(mn) edit-distance dynamic program."""
+    """Exact EDR via the anti-diagonal wavefront kernel."""
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    return edr_wavefront(t, q, epsilon)
+
+
+def edr_reference(t: np.ndarray, q: np.ndarray, epsilon: float) -> int:
+    """Exact EDR via the per-cell edit-distance loop; oracle for
+    :func:`edr`."""
     t = np.atleast_2d(np.asarray(t, dtype=np.float64))
     q = np.atleast_2d(np.asarray(q, dtype=np.float64))
     if epsilon < 0:
@@ -47,7 +58,17 @@ def edr(t: np.ndarray, q: np.ndarray, epsilon: float) -> int:
 
 
 def edr_threshold(t: np.ndarray, q: np.ndarray, epsilon: float, tau: float) -> float:
-    """EDR if ``<= tau`` else ``inf``, with the length filter and a banded DP.
+    """EDR if ``<= tau`` else ``inf``: length filter, then a wavefront sweep
+    that prunes cells above ``tau`` and abandons once the frontier dies."""
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    return edr_wavefront_threshold(t, q, epsilon, tau)
+
+
+def edr_threshold_reference(
+    t: np.ndarray, q: np.ndarray, epsilon: float, tau: float
+) -> float:
+    """Banded-loop EDR threshold; oracle for :func:`edr_threshold`.
 
     Any path with more than ``tau`` edits is useless, so cells with
     ``|i - j| > tau`` (which force at least that many indels) are skipped.

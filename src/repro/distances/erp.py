@@ -13,13 +13,24 @@ import math
 import numpy as np
 
 from ..geometry.point import pairwise_distances
+from ..kernels.wavefront import erp_wavefront, erp_wavefront_threshold
 from .base import TrajectoryDistance, register_distance
 
 _INF = math.inf
 
 
 def erp(t: np.ndarray, q: np.ndarray, gap: np.ndarray) -> float:
-    """Exact ERP distance with gap point ``gap``."""
+    """Exact ERP distance with gap point ``gap`` (wavefront kernel)."""
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    g = np.asarray(gap, dtype=np.float64)
+    if g.shape != (t.shape[1],):
+        raise ValueError("gap point must match trajectory dimensionality")
+    return erp_wavefront(t, q, g)
+
+
+def erp_reference(t: np.ndarray, q: np.ndarray, gap: np.ndarray) -> float:
+    """Exact ERP via the per-cell loop; oracle for :func:`erp`."""
     t = np.atleast_2d(np.asarray(t, dtype=np.float64))
     q = np.atleast_2d(np.asarray(q, dtype=np.float64))
     g = np.asarray(gap, dtype=np.float64)
@@ -49,7 +60,21 @@ def erp(t: np.ndarray, q: np.ndarray, gap: np.ndarray) -> float:
 
 
 def erp_threshold(t: np.ndarray, q: np.ndarray, gap: np.ndarray, tau: float) -> float:
-    """ERP if ``<= tau`` else ``inf``, using the triangle-derived lower bound
+    """ERP if ``<= tau`` else ``inf``: the triangle-derived gap-mass bound
+    rejects first, then a tau-pruned wavefront sweep decides the rest."""
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    g = np.asarray(gap, dtype=np.float64)
+    if g.shape != (t.shape[1],):
+        raise ValueError("gap point must match trajectory dimensionality")
+    return erp_wavefront_threshold(t, q, g, tau)
+
+
+def erp_threshold_reference(
+    t: np.ndarray, q: np.ndarray, gap: np.ndarray, tau: float
+) -> float:
+    """Mass-bound + full-loop ERP threshold; oracle for
+    :func:`erp_threshold`, using the triangle-derived lower bound
     ``|sum dist(t_i, g) - sum dist(q_j, g)| <= ERP(T, Q)`` to abandon early.
     """
     t = np.atleast_2d(np.asarray(t, dtype=np.float64))
@@ -59,7 +84,7 @@ def erp_threshold(t: np.ndarray, q: np.ndarray, gap: np.ndarray, tau: float) -> 
     mass_q = float(np.sum(np.sqrt(np.sum((q - g[None, :]) ** 2, axis=1))))
     if abs(mass_t - mass_q) > tau:
         return _INF
-    d = erp(t, q, g)
+    d = erp_reference(t, q, g)
     return d if d <= tau else _INF
 
 

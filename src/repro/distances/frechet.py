@@ -7,6 +7,10 @@ The recurrence mirrors DTW with ``max`` accumulating instead of ``+``:
 with max-accumulated first row/column.  Because accumulation is ``max``, the
 trie does not subtract distances from the threshold when filtering for
 Fréchet (Appendix A): every level just checks ``MinDist <= tau``.
+
+The public :func:`frechet`/:func:`frechet_threshold` run the vectorized
+anti-diagonal wavefront (:mod:`repro.kernels.wavefront`); the original
+per-cell loops remain as ``*_reference`` oracles for differential testing.
 """
 
 from __future__ import annotations
@@ -16,13 +20,24 @@ import math
 import numpy as np
 
 from ..geometry.point import pairwise_distances
+from ..kernels.wavefront import frechet_wavefront, frechet_wavefront_threshold
 from .base import TrajectoryDistance, register_distance
 
 _INF = math.inf
 
 
 def frechet(t: np.ndarray, q: np.ndarray) -> float:
-    """Exact discrete Fréchet distance."""
+    """Exact discrete Fréchet distance (anti-diagonal wavefront)."""
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    if t.shape[0] == 0 or q.shape[0] == 0:
+        raise ValueError("Frechet is undefined for empty trajectories")
+    return frechet_wavefront(t, q)
+
+
+def frechet_reference(t: np.ndarray, q: np.ndarray) -> float:
+    """Exact discrete Fréchet via the per-cell loop; oracle for
+    :func:`frechet`."""
     t = np.atleast_2d(np.asarray(t, dtype=np.float64))
     q = np.atleast_2d(np.asarray(q, dtype=np.float64))
     if t.shape[0] == 0 or q.shape[0] == 0:
@@ -47,9 +62,18 @@ def frechet(t: np.ndarray, q: np.ndarray) -> float:
 
 
 def frechet_threshold(t: np.ndarray, q: np.ndarray, tau: float) -> float:
-    """Fréchet with early abandon: reachability DP over cells with
-    ``w[i, j] <= tau``; if the end cell is unreachable return ``inf``,
-    otherwise compute the exact value (still ``<= tau``).
+    """Fréchet with early abandon: cells above ``tau`` are pruned during the
+    wavefront sweep; returns the exact value when ``<= tau``, else ``inf``."""
+    t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    if t.shape[0] == 0 or q.shape[0] == 0:
+        raise ValueError("Frechet is undefined for empty trajectories")
+    return frechet_wavefront_threshold(t, q, tau)
+
+
+def frechet_threshold_reference(t: np.ndarray, q: np.ndarray, tau: float) -> float:
+    """Reachability-pass early abandon over cells with ``w[i, j] <= tau``;
+    oracle for :func:`frechet_threshold`.
 
     The reachability pass is O(mn) boolean work and rejects most dissimilar
     pairs without computing exact max-accumulation.
@@ -78,7 +102,7 @@ def frechet_threshold(t: np.ndarray, q: np.ndarray, tau: float) -> float:
             return _INF
     if not reach[m - 1, n - 1]:
         return _INF
-    value = frechet(t, q)
+    value = frechet_reference(t, q)
     return value if value <= tau else _INF
 
 

@@ -33,7 +33,8 @@ def euclidean(a: PointLike, b: PointLike) -> float:
     pb = np.asarray(b, dtype=np.float64)
     if pa.shape != pb.shape:
         raise ValueError(f"dimension mismatch: {pa.shape} vs {pb.shape}")
-    return float(math.sqrt(float(np.sum((pa - pb) ** 2))))
+    d = pa - pb
+    return math.sqrt(float(np.dot(d, d)))
 
 
 def squared_euclidean(a: PointLike, b: PointLike) -> float:
@@ -49,7 +50,13 @@ def pairwise_distances(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
     ``xs`` has shape ``(m, d)`` and ``ys`` shape ``(n, d)``; the result has
     shape ``(m, n)`` with ``result[i, j] == euclidean(xs[i], ys[j])``.  This is
     the ``w`` matrix of the paper's Table 1 and the inner loop of every DP
-    distance function, so it is fully vectorized.
+    distance function, so it is fully vectorized: the Gram-matrix identity
+    ``|a - b|^2 = |a|^2 + |b|^2 - 2 a.b`` turns the whole matrix into one
+    GEMM plus rank-1 updates, never materializing the ``(m, n, d)`` broadcast
+    tensor.  The subtraction cancels catastrophically for near-coincident
+    points, so entries whose squared value is tiny relative to the operand
+    magnitudes are recomputed exactly from the gathered coordinate
+    differences — identical points yield an exact ``0.0``.
     """
     xs = np.asarray(xs, dtype=np.float64)
     ys = np.asarray(ys, dtype=np.float64)
@@ -57,8 +64,20 @@ def pairwise_distances(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         raise ValueError("pairwise_distances expects 2-d arrays of points")
     if xs.shape[1] != ys.shape[1]:
         raise ValueError(f"dimension mismatch: {xs.shape[1]} vs {ys.shape[1]}")
-    diff = xs[:, None, :] - ys[None, :, :]
-    return np.sqrt(np.sum(diff * diff, axis=2))
+    xs_sq = np.einsum("ij,ij->i", xs, xs)
+    ys_sq = np.einsum("ij,ij->i", ys, ys)
+    sq = xs_sq[:, None] + ys_sq[None, :]
+    sq -= 2.0 * (xs @ ys.T)
+    np.maximum(sq, 0.0, out=sq)
+    # cancellation guard: |a|^2 + |b|^2 - 2a.b loses ~all precision when the
+    # result is far smaller than the operands; redo those entries directly
+    scale = xs_sq[:, None] + ys_sq[None, :]
+    suspect = sq <= 1e-6 * scale
+    if suspect.any():
+        ii, jj = np.nonzero(suspect)
+        diff = xs[ii] - ys[jj]
+        sq[ii, jj] = np.einsum("ij,ij->i", diff, diff)
+    return np.sqrt(sq, out=sq)
 
 
 def point_to_points_min(p: PointLike, ys: np.ndarray) -> float:

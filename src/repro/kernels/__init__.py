@@ -1,0 +1,53 @@
+"""Vectorized batch kernels for the filter–verification hot path.
+
+DITA's throughput claims rest on two properties of the verification stage
+(Sections 5.2–5.3): cheap bounds reject most candidate pairs before any
+O(mn) dynamic program runs, and the dynamic programs that do run must cost
+what the hardware allows, not what a Python interpreter allows.  This
+package delivers both:
+
+* :mod:`repro.kernels.wavefront` — anti-diagonal wavefront sweeps for the
+  four DP distances (DTW, discrete Fréchet, EDR, ERP).  Every DP cell
+  depends only on the previous two anti-diagonals, so each diagonal is one
+  vectorized ``minimum``/``maximum`` plus a shift: O(m + n) array
+  operations instead of O(mn) interpreted iterations.  Threshold variants
+  abandon as soon as two consecutive diagonals exceed ``tau``.
+* :mod:`repro.kernels.batch` — batched candidate filtering: the MBR
+  coverage filter (Lemma 5.4) and the cell-compression lower bound
+  (Lemma 5.6) evaluated for a whole candidate list with matrix operations
+  over contiguous stacked arrays (:class:`~repro.kernels.batch.TrajectoryBlock`),
+  so only surviving pairs ever reach an exact kernel.
+
+The legacy per-cell loop implementations remain available as
+``*_reference`` functions in :mod:`repro.distances` and are used for
+differential testing; ``benchmarks/bench_kernels.py`` measures one against
+the other and emits ``BENCH_kernels.json``.
+"""
+
+from .batch import TrajectoryBlock, batch_cell_bounds, batch_mbr_coverage
+from .wavefront import (
+    dtw_wavefront,
+    dtw_wavefront_last_row,
+    dtw_wavefront_threshold,
+    edr_wavefront,
+    edr_wavefront_threshold,
+    erp_wavefront,
+    erp_wavefront_threshold,
+    frechet_wavefront,
+    frechet_wavefront_threshold,
+)
+
+__all__ = [
+    "TrajectoryBlock",
+    "batch_cell_bounds",
+    "batch_mbr_coverage",
+    "dtw_wavefront",
+    "dtw_wavefront_last_row",
+    "dtw_wavefront_threshold",
+    "edr_wavefront",
+    "edr_wavefront_threshold",
+    "erp_wavefront",
+    "erp_wavefront_threshold",
+    "frechet_wavefront",
+    "frechet_wavefront_threshold",
+]

@@ -1,0 +1,167 @@
+"""Batched filter-verification vs. the per-pair pipeline.
+
+``Verifier.verify_batch`` over a :class:`TrajectoryBlock` must return the
+same matches, in the same order, with the same :class:`VerifyStats`
+counts, as calling :meth:`Verifier.verify` per candidate — for every
+verifier configuration, including fallbacks (candidates missing from the
+block, custom cell bounds with no batch equivalent).  The block cache on
+:class:`TrieIndex` must invalidate on insert/remove.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.mbe import MBEIndex, envelope_lower_bound
+from repro.core.adapters import get_adapter
+from repro.core.config import DITAConfig
+from repro.core.trie import TrieIndex
+from repro.core.verify import VerificationData, VerifyStats
+from repro.datagen import beijing_like
+from repro.kernels import TrajectoryBlock, batch_cell_bounds, batch_mbr_coverage
+from repro.core.numerics import slack
+
+CELL_SIZE = 0.004
+TAU = 0.01
+
+
+@pytest.fixture(scope="module")
+def data():
+    return list(beijing_like(80, seed=21))
+
+
+@pytest.fixture(scope="module")
+def verification(data):
+    return {t.traj_id: VerificationData.of(t, CELL_SIZE) for t in data}
+
+
+@pytest.fixture(scope="module")
+def block(verification):
+    return TrajectoryBlock.from_verification(verification)
+
+
+def _per_pair(verifier, candidates, q, tau, verification, stats=None):
+    out = []
+    for t in candidates:
+        d = verifier.verify(t, q, tau, verification[t.traj_id],
+                            verification[q.traj_id], stats)
+        if d <= tau:
+            out.append((t, d))
+    return out
+
+
+@pytest.mark.parametrize("distance", ["dtw", "frechet"])
+@pytest.mark.parametrize("use_mbr,use_cells", [(True, True), (True, False), (False, True), (False, False)])
+def test_batch_matches_per_pair(data, verification, block, distance, use_mbr, use_cells):
+    adapter = get_adapter(distance)
+    verifier = adapter.make_verifier(use_mbr_coverage=use_mbr, use_cell_filter=use_cells)
+    for qi in (0, 13, 55):
+        q = data[qi]
+        s_loop, s_batch = VerifyStats(), VerifyStats()
+        expect = _per_pair(verifier, data, q, TAU, verification, s_loop)
+        got = verifier.verify_batch(
+            data, q, TAU, verification[q.traj_id], block=block,
+            stats=s_batch, data_lookup=verification.get,
+        )
+        assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
+        assert s_batch == s_loop
+
+
+def test_batch_without_block_falls_back(data, verification):
+    verifier = get_adapter("dtw").make_verifier()
+    q = data[7]
+    expect = _per_pair(verifier, data, q, TAU, verification)
+    got = verifier.verify_batch(data, q, TAU, verification[q.traj_id],
+                                block=None, data_lookup=verification.get)
+    assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
+
+
+def test_candidates_missing_from_block_fall_back(data, verification):
+    verifier = get_adapter("dtw").make_verifier()
+    partial = TrajectoryBlock.from_verification(
+        {t.traj_id: verification[t.traj_id] for t in data[: len(data) // 2]}
+    )
+    q = data[3]
+    s_loop, s_batch = VerifyStats(), VerifyStats()
+    expect = _per_pair(verifier, data, q, TAU, verification, s_loop)
+    got = verifier.verify_batch(data, q, TAU, verification[q.traj_id],
+                                block=partial, stats=s_batch,
+                                data_lookup=verification.get)
+    assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
+    assert s_batch == s_loop
+
+
+def test_custom_cell_bound_uses_per_pair_path(data, verification, block):
+    adapter = get_adapter("dtw")
+    verifier = adapter.make_verifier()
+    verifier.cell_bound_fn = lambda a, b: 0.0  # never prunes
+    verifier.cell_bound_kind = None
+    q = data[11]
+    expect = _per_pair(verifier, data, q, TAU, verification)
+    got = verifier.verify_batch(data, q, TAU, verification[q.traj_id],
+                                block=block, data_lookup=verification.get)
+    assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
+
+
+def test_batch_filter_stages_match_scalar_lemmas(data, verification, block):
+    """Lemma 5.4 / 5.6 matrix forms agree with the scalar implementations."""
+    from repro.core.verify import cell_bound_dtw, cell_bound_frechet, mbr_coverage_ok
+
+    q_data = verification[data[5].traj_id]
+    rows = block.rows_for([t.traj_id for t in data])
+    tau_s = slack(TAU)
+    mask = batch_mbr_coverage(block, rows, q_data.mbr.low, q_data.mbr.high, tau_s)
+    for t, ok in zip(data, mask):
+        assert bool(ok) == mbr_coverage_ok(verification[t.traj_id].mbr, q_data.mbr, TAU)
+    for kind, scalar in (("sum", cell_bound_dtw), ("max", cell_bound_frechet)):
+        bounds = batch_cell_bounds(block, rows, q_data.cells, kind)
+        for t, b in zip(data, bounds):
+            assert b == pytest.approx(
+                scalar(verification[t.traj_id].cells, q_data.cells), abs=1e-9
+            )
+
+
+def test_empty_candidates(data, verification, block):
+    verifier = get_adapter("dtw").make_verifier()
+    assert verifier.verify_batch([], data[0], TAU, verification[data[0].traj_id],
+                                 block=block) == []
+
+
+class TestBlockCache:
+    def test_trie_block_invalidated_on_insert_and_remove(self, data):
+        cfg = DITAConfig(cell_size=CELL_SIZE)
+        trie = TrieIndex(data[:-1], cfg)
+        b1 = trie.batch_block()
+        assert trie.batch_block() is b1  # cached
+        extra = data[-1]
+        trie.insert(extra)
+        b2 = trie.batch_block()
+        assert b2 is not b1
+        assert extra.traj_id in b2
+        assert len(b2) == len(data)
+        assert trie.remove(extra.traj_id)
+        b3 = trie.batch_block()
+        assert b3 is not b2
+        assert extra.traj_id not in b3
+        assert len(b3) == len(data) - 1
+
+    def test_block_rows_round_trip(self, data, verification, block):
+        ids = [t.traj_id for t in data[::7]]
+        rows = block.rows_for(ids)
+        assert [int(block.ids[r]) for r in rows] == ids
+
+
+def test_mbe_stacked_bounds_match_loop(data):
+    for distance in ("dtw", "frechet"):
+        idx = MBEIndex(data, distance)
+        for q in (data[2], data[40]):
+            fast = idx.lower_bounds(q.points)
+            slow = [envelope_lower_bound(idx._envelopes[t.traj_id], q.points, idx._aggregate)
+                    for t in idx._trajs]
+            assert np.allclose(fast, slow, rtol=0, atol=1e-12)
+        # chunking at any granularity gives identical answers
+        tiny = idx.lower_bounds(data[2].points, max_elems=1)
+        assert np.allclose(tiny, idx.lower_bounds(data[2].points), rtol=0, atol=0)

@@ -1,0 +1,168 @@
+"""Differential tests: wavefront kernels vs. the reference loops.
+
+The vectorized anti-diagonal sweeps must produce *identical* answers to the
+legacy per-cell Python DPs (to 1e-9) on seeded-random trajectories across
+lengths (including length-1 edge cases) and dimensions, and the threshold
+variants must be sound: never report a value below the exact distance, and
+return the exact distance whenever it is within tau.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    dtw,
+    dtw_reference,
+    dtw_threshold,
+    dtw_threshold_reference,
+    edr,
+    edr_reference,
+    edr_threshold,
+    erp,
+    erp_reference,
+    erp_threshold,
+    frechet,
+    frechet_reference,
+    frechet_threshold,
+)
+from repro.distances.dtw import _forward_rows
+from repro.kernels import dtw_wavefront_last_row
+
+EDR_EPS = 0.002
+
+#: (m, n, d) shapes covering the wavefront's boundary cases: single-point
+#: trajectories (one diagonal), skinny tables, square tables, high dims
+SHAPES = [
+    (1, 1, 2),
+    (1, 7, 2),
+    (9, 1, 2),
+    (2, 2, 2),
+    (5, 13, 2),
+    (13, 5, 2),
+    (31, 31, 2),
+    (17, 64, 3),
+    (40, 40, 5),
+    (64, 63, 2),
+]
+
+
+def _walk(rng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    start = rng.uniform(0.0, 1.0, size=d)
+    steps = rng.normal(scale=1e-3, size=(n, d))
+    steps[0] = 0.0
+    return start + np.cumsum(steps, axis=0)
+
+
+def _pairs():
+    rng = np.random.default_rng(42)
+    for m, n, d in SHAPES:
+        for _ in range(3):
+            yield _walk(rng, m, d), _walk(rng, n, d)
+
+
+class TestExactMatchesReference:
+    def test_dtw(self):
+        for a, b in _pairs():
+            assert dtw(a, b) == pytest.approx(dtw_reference(a, b), abs=1e-9)
+
+    def test_frechet(self):
+        for a, b in _pairs():
+            assert frechet(a, b) == pytest.approx(frechet_reference(a, b), abs=1e-9)
+
+    def test_edr(self):
+        for a, b in _pairs():
+            assert edr(a, b, EDR_EPS) == edr_reference(a, b, EDR_EPS)
+
+    def test_erp(self):
+        for a, b in _pairs():
+            gap = np.zeros(a.shape[1])
+            assert erp(a, b, gap) == pytest.approx(erp_reference(a, b, gap), abs=1e-9)
+
+    def test_identical_trajectories_are_exactly_zero(self):
+        rng = np.random.default_rng(3)
+        t = _walk(rng, 33, 2)
+        assert dtw(t, t) == 0.0
+        assert frechet(t, t) == 0.0
+        assert edr(t, t, EDR_EPS) == 0
+        assert erp(t, t, np.zeros(2)) == 0.0
+
+
+class TestThresholdSoundness:
+    """tau above the exact value => the exact value; tau below => inf (or at
+    least never an underestimate)."""
+
+    def _check(self, exact_val, threshold_fn, a, b, *args):
+        above = threshold_fn(a, b, *args, exact_val * 1.5 + 1e-12)
+        assert above == pytest.approx(exact_val, abs=1e-9)
+        at = threshold_fn(a, b, *args, exact_val + 1e-12)
+        assert at == pytest.approx(exact_val, abs=1e-9)
+        if exact_val > 1e-9:
+            below = threshold_fn(a, b, *args, exact_val * 0.5)
+            assert below >= exact_val - 1e-9  # never an underestimate
+
+    def test_dtw(self):
+        for a, b in _pairs():
+            self._check(dtw(a, b), dtw_threshold, a, b)
+
+    def test_frechet(self):
+        for a, b in _pairs():
+            self._check(frechet(a, b), frechet_threshold, a, b)
+
+    def test_edr(self):
+        for a, b in _pairs():
+            self._check(float(edr(a, b, EDR_EPS)), edr_threshold, a, b, EDR_EPS)
+
+    def test_erp(self):
+        for a, b in _pairs():
+            gap = np.zeros(a.shape[1])
+            self._check(erp(a, b, gap), erp_threshold, a, b, gap)
+
+    def test_dtw_threshold_matches_reference_when_within_tau(self):
+        for a, b in _pairs():
+            d = dtw(a, b)
+            tau = d * 1.25 + 1e-12
+            assert dtw_threshold(a, b, tau) == pytest.approx(
+                dtw_threshold_reference(a, b, tau), abs=1e-9
+            )
+
+    def test_below_tau_prunes_to_inf_or_exact(self):
+        rng = np.random.default_rng(9)
+        a, b = _walk(rng, 48, 2), _walk(rng, 48, 2)
+        d = dtw(a, b)
+        assert math.isinf(dtw_threshold(a, b, d * 0.25))
+        f = frechet(a, b)
+        assert math.isinf(frechet_threshold(a, b, f * 0.25))
+
+
+class TestLastRow:
+    """The forward-rows kernel backing double-direction DTW."""
+
+    def test_matches_loop_oracle(self):
+        rng = np.random.default_rng(17)
+        for m, n, d in [(5, 9, 2), (20, 20, 2), (1, 6, 3), (33, 12, 2)]:
+            a, b = _walk(rng, m, d), _walk(rng, n, d)
+            w = np.sqrt(((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2))
+            tau = float(np.median(w)) * max(m, n) / 2
+            vec = dtw_wavefront_last_row(w, m, tau)
+            ref = _forward_rows(w, m, tau)
+            if ref is None:
+                assert vec is None
+            else:
+                assert vec is not None
+                finite = np.isfinite(ref)
+                assert np.array_equal(finite, np.isfinite(vec))
+                assert np.allclose(ref[finite], vec[finite], atol=1e-9)
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            dtw(np.zeros((0, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            frechet(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            erp(np.zeros((3, 2)), np.zeros((3, 2)), np.zeros(3))
