@@ -1,0 +1,224 @@
+"""Traversal micro-benchmarks: columnar frontier vs. the recursive walk.
+
+Times Algorithm 2's filter stage three ways on seeded city-like datasets —
+the recursive object-graph reference walk, the frontier traversal driven
+one query at a time, and the multi-query batched frontier sweep — and the
+end-to-end join wall time with the frontier filter on vs. off on the
+Figure 9/10-style join configuration.  Emits ``BENCH_traversal.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_traversal.py            # full
+    PYTHONPATH=src python benchmarks/bench_traversal.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_traversal.py --smoke \
+        --check benchmarks/BENCH_traversal.json                    # CI gate
+
+``--check`` compares the fresh run's speedup medians against the committed
+JSON and exits non-zero when they regressed by more than 2x — a cheap,
+machine-portable gate (ratios, not absolute seconds).
+
+Timings are min-of-reps (same protocol as ``bench_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.core.adapters import DTWAdapter
+from repro.core.config import DITAConfig
+from repro.core.engine import DITAEngine
+from repro.core.trie import TrieIndex
+from repro.datagen import beijing_like, citywide_dataset
+
+FULL_SIZES = [2_000, 10_000]
+SMOKE_SIZES = [2_000]
+N_QUERIES = 24
+TAU = 0.004
+JOIN_TAU = 0.003
+JOIN_N_FULL = 800
+JOIN_N_SMOKE = 300
+
+
+def best_of(fn: Callable[[], object], reps: int) -> float:
+    """Minimum wall time of ``reps`` runs of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_filter(sizes: List[int], reps: int) -> List[Dict[str, float]]:
+    """Filter stage only: reference walk vs. frontier (single and batched),
+    identical candidate sets asserted before timing."""
+    adapter = DTWAdapter()
+    rows: List[Dict[str, float]] = []
+    for n in sizes:
+        data = list(beijing_like(n, seed=7))
+        trie = TrieIndex(
+            data,
+            DITAConfig(trie_fanout=8, num_pivots=4, trie_leaf_capacity=8, cell_size=0.004),
+        )
+        trie.columnar()  # build the layout outside the timed region
+        queries = [t.points for t in data[:N_QUERIES]]
+        taus = [TAU] * N_QUERIES
+
+        def ref() -> list:
+            return [trie.filter_candidates_reference(q, TAU, adapter) for q in queries]
+
+        def single() -> list:
+            return [trie.filter_candidates(q, TAU, adapter) for q in queries]
+
+        def batched() -> list:
+            return trie.filter_candidates_batch(queries, taus, adapter)
+
+        expect = [sorted(t.traj_id for t in c) for c in ref()]
+        for variant in (single, batched):
+            got = [sorted(t.traj_id for t in c) for c in variant()]
+            assert got == expect, "frontier filter disagrees with the reference walk"
+
+        ref_s = best_of(ref, reps)
+        single_s = best_of(single, reps)
+        batch_s = best_of(batched, reps)
+        row = {
+            "n": n,
+            "n_queries": N_QUERIES,
+            "tau": TAU,
+            "ref_s": ref_s,
+            "single_s": single_s,
+            "batch_s": batch_s,
+            "speedup_single": ref_s / single_s if single_s > 0 else float("inf"),
+            "speedup_batch": ref_s / batch_s if batch_s > 0 else float("inf"),
+        }
+        rows.append(row)
+        print(
+            f"  filter n={n:<6} ref {ref_s*1e3:9.2f} ms   "
+            f"frontier {single_s*1e3:8.2f} ms ({row['speedup_single']:5.1f}x)   "
+            f"batched {batch_s*1e3:8.2f} ms ({row['speedup_batch']:5.1f}x)"
+        )
+    return rows
+
+
+def bench_join(n: int, reps: int) -> Dict[str, float]:
+    """End-to-end self-join wall time on the Figure 9/10-style config with
+    the frontier filter off vs. on (everything else identical)."""
+    data = citywide_dataset(n, avg_len=22, seed=104, min_len=7, max_len=112, duplication=2)
+    base = dict(
+        num_global_partitions=4,
+        trie_fanout=8,
+        num_pivots=4,
+        trie_leaf_capacity=8,
+        cell_size=0.004,
+    )
+    eng_off = DITAEngine(data, DITAConfig(use_frontier_filter=False, **base))
+    eng_on = DITAEngine(data, DITAConfig(use_frontier_filter=True, **base))
+    pairs_off = sorted(eng_off.self_join(JOIN_TAU))
+    pairs_on = sorted(eng_on.self_join(JOIN_TAU))
+    assert pairs_off == pairs_on, "join results differ between filter paths"
+    # interleave the two variants' reps so both sample the same ambient
+    # noise; min-of-reps per variant as elsewhere
+    off_s = on_s = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        eng_off.self_join(JOIN_TAU)
+        off_s = min(off_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        eng_on.self_join(JOIN_TAU)
+        on_s = min(on_s, time.perf_counter() - t0)
+    row = {
+        "n": n,
+        "tau": JOIN_TAU,
+        "pairs": len(pairs_on),
+        "off_s": off_s,
+        "on_s": on_s,
+        "speedup": off_s / on_s if on_s > 0 else float("inf"),
+    }
+    print(
+        f"  join   n={n:<6} reference {off_s:8.3f} s   "
+        f"frontier {on_s:8.3f} s   {row['speedup']:5.2f}x  ({len(pairs_on)} pairs)"
+    )
+    return row
+
+
+def check_regression(fresh: dict, committed_path: Path) -> int:
+    """Gate: fail when the fresh speedup medians fall below half the
+    committed ones (filter, over the sizes both runs measured; join)."""
+    committed = json.loads(committed_path.read_text())
+    failures: List[str] = []
+
+    com_by_n = {row["n"]: row for row in committed["filter"]}
+    shared = [row for row in fresh["filter"] if row["n"] in com_by_n]
+    if shared:
+        fresh_med = statistics.median(r["speedup_batch"] for r in shared)
+        com_med = statistics.median(com_by_n[r["n"]]["speedup_batch"] for r in shared)
+        if fresh_med < com_med / 2:
+            failures.append(
+                f"filter batched speedup median {fresh_med:.1f}x regressed >2x "
+                f"vs committed {com_med:.1f}x"
+            )
+    fresh_join = fresh["join"]["speedup"]
+    com_join = committed["join"]["speedup"]
+    if fresh_join < com_join / 2:
+        failures.append(
+            f"join speedup {fresh_join:.2f}x regressed >2x vs committed {com_join:.2f}x"
+        )
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        return 1
+    print(
+        f"check OK vs {committed_path.name}: filter median "
+        f"{statistics.median(r['speedup_batch'] for r in shared):.1f}x, "
+        f"join {fresh_join:.2f}x"
+    )
+    return 0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="CI-sized run (small sizes, few reps)")
+    ap.add_argument("--out", type=Path, default=None, help="output JSON path")
+    ap.add_argument(
+        "--check", type=Path, default=None,
+        help="committed BENCH_traversal.json to gate against (exit 1 on >2x regression)",
+    )
+    args = ap.parse_args()
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    reps = 3 if args.smoke else 5
+    join_n = JOIN_N_SMOKE if args.smoke else JOIN_N_FULL
+    out_path = args.out or Path(__file__).resolve().parent / "BENCH_traversal.json"
+
+    print("== filter stage: reference walk vs frontier traversal ==")
+    filter_rows = bench_filter(sizes, reps)
+    print("== end-to-end join: frontier filter off vs on ==")
+    join_row = bench_join(join_n, max(2, reps - 1))
+
+    result = {
+        "meta": {
+            "smoke": args.smoke,
+            "reps": reps,
+            "sizes": sizes,
+            "n_queries": N_QUERIES,
+            "seed": 7,
+            "timer": "min-of-reps perf_counter",
+        },
+        "filter": filter_rows,
+        "join": join_row,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    if args.check is not None:
+        sys.exit(check_regression(result, args.check))
+
+
+if __name__ == "__main__":
+    main()

@@ -28,8 +28,9 @@ processing-time greedy packing onto per-core clocks.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .clock import TaskMeasure, unit_cost_measure
 from .metrics import ExecutionReport
@@ -49,11 +50,24 @@ class Worker:
     def __post_init__(self) -> None:
         if not self.core_clocks:
             self.core_clocks = [0.0] * self.cores
+        self._rebuild_heap()
+
+    def _rebuild_heap(self) -> None:
+        # (clock, core index) entries, one per core: popping yields the
+        # least busy core with ties broken by smallest index — the same
+        # core a linear min-scan would pick, so packing (and hence every
+        # report) stays byte-identical while each charge costs O(log c)
+        self._heap: List[Tuple[float, int]] = [
+            (c, i) for i, c in enumerate(self.core_clocks)
+        ]
+        heapq.heapify(self._heap)
 
     def charge_compute(self, seconds: float) -> None:
         """Greedy LPT packing: the task goes to the least busy core."""
-        i = min(range(self.cores), key=lambda k: self.core_clocks[k])
-        self.core_clocks[i] += seconds
+        clock, i = heapq.heappop(self._heap)
+        clock += seconds
+        self.core_clocks[i] = clock
+        heapq.heappush(self._heap, (clock, i))
 
     def charge_network(self, seconds: float) -> None:
         self.network_s += seconds
@@ -65,6 +79,7 @@ class Worker:
     def reset(self) -> None:
         self.core_clocks = [0.0] * self.cores
         self.network_s = 0.0
+        self._rebuild_heap()
 
 
 class Cluster:

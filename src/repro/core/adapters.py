@@ -21,6 +21,13 @@ from typing import Optional
 import numpy as np
 
 from ..distances.base import TrajectoryDistance, get_distance
+from ..kernels.frontier import (
+    BatchStep,
+    BatchVisit,
+    rows_point_box_dist,
+    span_drop_min,
+    span_min_dist,
+)
 from ..distances.dtw import dtw_double_direction
 from ..distances.edr import edr_threshold
 from ..distances.erp import erp_threshold
@@ -106,6 +113,55 @@ class IndexAdapter:
             return None
         return replace(state, remaining=state.remaining - d)
 
+    def visit_batch(self, req: BatchVisit) -> BatchStep:
+        """Vectorized :meth:`visit` over a whole frontier expansion — one
+        row per (query-state, child-node) pair, the same float operations
+        in the same per-row order as the scalar walk."""
+        batch = req.batch
+        rem = req.remaining.copy()
+        qs = req.q_start.copy()
+        t1 = req.tau1.copy()
+        if req.kind == FIRST:
+            d = rows_point_box_dist(batch.firsts[req.q_idx], req.low, req.high)
+            keep = d <= req.remaining
+            np.subtract(req.remaining, d, out=rem)
+            return BatchStep(keep, rem, qs, t1)
+        if req.kind == LAST:
+            d = rows_point_box_dist(batch.lasts[req.q_idx], req.low, req.high)
+            keep = d <= req.remaining
+            np.subtract(req.remaining, d, out=rem)
+            if self.use_suffix_pruning:
+                t1 = rem.copy()
+            return BatchStep(keep, rem, qs, t1)
+        # pivot level: rows whose admissible suffix is exhausted are pruned
+        e = req.q_idx.shape[0]
+        keep = np.zeros(e, dtype=bool)
+        nonempty = np.nonzero(batch.lens[req.q_idx] - req.q_start > 0)[0]
+        if nonempty.size == 0:
+            return BatchStep(keep, rem, qs, t1)
+        if self.use_suffix_pruning:
+            has_t1 = ~np.isnan(req.tau1[nonempty])
+            pruned_rows = nonempty[has_t1]
+            plain_rows = nonempty[~has_t1]
+        else:
+            pruned_rows = nonempty[:0]
+            plain_rows = nonempty
+        if pruned_rows.size:
+            a = pruned_rows
+            drop, tail = span_drop_min(
+                req.low[a], req.high[a], req.q_idx[a], req.q_start[a],
+                req.tau1[a], batch, need_tail_min=True,
+            )
+            keep[a] = (drop >= 0) & (tail <= req.remaining[a])
+            rem[a] = req.remaining[a] - tail
+            qs[a] = req.q_start[a] + np.maximum(drop, 0)
+        if plain_rows.size:
+            b = plain_rows
+            d = span_min_dist(req.low[b], req.high[b], req.q_idx[b], req.q_start[b], batch)
+            keep[b] = d <= req.remaining[b]
+            rem[b] = req.remaining[b] - d
+        return BatchStep(keep, rem, qs, t1)
+
     # -------------------------------------------------------------- #
     # verification
     # -------------------------------------------------------------- #
@@ -160,6 +216,34 @@ class FrechetAdapter(IndexAdapter):
             return replace(state, q_start=state.q_start + drop)
         return state
 
+    def visit_batch(self, req: BatchVisit) -> BatchStep:
+        batch = req.batch
+        rem = req.remaining.copy()
+        qs = req.q_start.copy()
+        t1 = req.tau1.copy()
+        if req.kind == FIRST:
+            d = rows_point_box_dist(batch.firsts[req.q_idx], req.low, req.high)
+            return BatchStep(d <= req.remaining, rem, qs, t1)
+        if req.kind == LAST:
+            d = rows_point_box_dist(batch.lasts[req.q_idx], req.low, req.high)
+            return BatchStep(d <= req.remaining, rem, qs, t1)
+        e = req.q_idx.shape[0]
+        keep = np.zeros(e, dtype=bool)
+        ne = np.nonzero(batch.lens[req.q_idx] - req.q_start > 0)[0]
+        if ne.size == 0:
+            return BatchStep(keep, rem, qs, t1)
+        if self.use_suffix_pruning:
+            drop, _ = span_drop_min(
+                req.low[ne], req.high[ne], req.q_idx[ne], req.q_start[ne],
+                req.remaining[ne], batch, need_tail_min=False,
+            )
+            keep[ne] = drop >= 0
+            qs[ne] = req.q_start[ne] + np.maximum(drop, 0)
+        else:
+            d = span_min_dist(req.low[ne], req.high[ne], req.q_idx[ne], req.q_start[ne], batch)
+            keep[ne] = d <= req.remaining[ne]
+        return BatchStep(keep, rem, qs, t1)
+
     def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return frechet_threshold(t, q, tau)
 
@@ -187,6 +271,15 @@ class HausdorffAdapter(IndexAdapter):
         if mbr.min_dist_trajectory(q) > state.remaining:
             return None
         return state
+
+    def visit_batch(self, req: BatchVisit) -> BatchStep:
+        # every level tests the *full* query (no suffix), matching visit
+        d = span_min_dist(
+            req.low, req.high, req.q_idx, np.zeros_like(req.q_start), req.batch
+        )
+        return BatchStep(
+            d <= req.remaining, req.remaining.copy(), req.q_start.copy(), req.tau1.copy()
+        )
 
     def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return hausdorff_threshold(t, q, tau)
@@ -224,6 +317,15 @@ class EDRAdapter(IndexAdapter):
                 return None
             return replace(state, remaining=remaining)
         return state
+
+    def visit_batch(self, req: BatchVisit) -> BatchStep:
+        d = span_min_dist(
+            req.low, req.high, req.q_idx, np.zeros_like(req.q_start), req.batch
+        )
+        costly = d > self.epsilon
+        rem = np.where(costly, req.remaining - 1, req.remaining)
+        keep = ~costly | (rem >= 0)
+        return BatchStep(keep, rem, req.q_start.copy(), req.tau1.copy())
 
     def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return edr_threshold(t, q, self.epsilon, tau)
@@ -263,6 +365,16 @@ class LCSSAdapter(IndexAdapter):
                 return replace(state, remaining=remaining)
         return state
 
+    def visit_batch(self, req: BatchVisit) -> BatchStep:
+        d = span_min_dist(
+            req.low, req.high, req.q_idx, np.zeros_like(req.q_start), req.batch
+        )
+        # the budget is consumed only when the whole subtree is short enough
+        costly = (d > self.epsilon) & (req.node_max_len <= req.batch.lens[req.q_idx])
+        rem = np.where(costly, req.remaining - 1, req.remaining)
+        keep = ~costly | (rem >= 0)
+        return BatchStep(keep, rem, req.q_start.copy(), req.tau1.copy())
+
     def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         d = float(lcss_dissimilarity(t, q, self.epsilon, self.delta))
         return d if d <= tau else _INF
@@ -295,6 +407,16 @@ class ERPAdapter(IndexAdapter):
             return None
         return replace(state, remaining=state.remaining - d)
 
+    def visit_batch(self, req: BatchVisit) -> BatchStep:
+        d_traj = span_min_dist(
+            req.low, req.high, req.q_idx, np.zeros_like(req.q_start), req.batch
+        )
+        gap_rows = np.broadcast_to(self.gap, req.low.shape)
+        d_gap = rows_point_box_dist(gap_rows, req.low, req.high)
+        d = np.minimum(d_traj, d_gap)
+        keep = d <= req.remaining
+        return BatchStep(keep, req.remaining - d, req.q_start.copy(), req.tau1.copy())
+
     def exact(self, t: np.ndarray, q: np.ndarray, tau: float) -> float:
         return erp_threshold(t, q, self.gap, tau)
 
@@ -303,6 +425,23 @@ class ERPAdapter(IndexAdapter):
 
     def distance(self) -> TrajectoryDistance:
         return get_distance("erp", gap=self.gap)
+
+
+def _defining_class(cls: type, name: str) -> type:
+    for klass in cls.__mro__:
+        if name in vars(klass):
+            return klass
+    return object
+
+
+def batch_visit_supported(adapter: IndexAdapter) -> bool:
+    """True when the adapter's ``visit_batch`` is at least as derived as its
+    ``visit`` — i.e. a subclass that customizes the scalar walk without
+    supplying a matching batched policy falls back to the reference path."""
+    cls = type(adapter)
+    return issubclass(
+        _defining_class(cls, "visit_batch"), _defining_class(cls, "visit")
+    )
 
 
 _ADAPTERS = {

@@ -41,6 +41,10 @@ class DITAConfig:
     division_quantile: float = 0.98
     #: enable the Lemma 5.1 suffix optimization during trie filtering.
     use_suffix_pruning: bool = True
+    #: route trie filtering through the columnar frontier traversal
+    #: (:mod:`repro.kernels.frontier`); False forces the recursive
+    #: reference walk.  Results are identical either way.
+    use_frontier_filter: bool = True
     #: enable the MBR coverage filter (Lemma 5.4) during verification.
     use_mbr_coverage: bool = True
     #: enable the cell-based lower bound (Lemma 5.6) during verification.

@@ -208,6 +208,54 @@ class DITAEngine:
             matches.extend(local)
         return matches
 
+    def search_batch(
+        self,
+        queries: List[Trajectory],
+        taus: List[float],
+        stats: Optional[List[Optional[SearchStats]]] = None,
+    ) -> List[List[Match]]:
+        """Batched distributed search: one result list per query.
+
+        Queries are grouped by relevant partition, and each partition
+        answers all of its queries in one frontier sweep over the columnar
+        trie (one simulated task per partition, charged for the whole
+        group).  Results are identical to looping :meth:`search`.
+        """
+        if len(queries) != len(taus):
+            raise ValueError("queries and taus must have equal length")
+        if stats is not None and len(stats) != len(queries):
+            raise ValueError("stats must have one (possibly None) entry per query")
+        for tau in taus:
+            if tau < 0:
+                raise ValueError("tau must be non-negative")
+        by_pid: Dict[int, List[int]] = {}
+        q_datas: List[VerificationData] = []
+        for i, (query, tau) in enumerate(zip(queries, taus)):
+            relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
+            if stats is not None and stats[i] is not None:
+                stats[i].relevant_partitions += len(relevant)
+            q_datas.append(VerificationData.of(query, self.config.cell_size))
+            for pid in relevant:
+                if pid in self._searchers:
+                    by_pid.setdefault(pid, []).append(i)
+        results: List[List[Match]] = [[] for _ in queries]
+        for pid in sorted(by_pid):
+            idxs = by_pid[pid]
+            searcher = self._searchers[pid]
+            local = self.cluster.run_local(
+                pid,
+                lambda s=searcher, ix=idxs: s.search_batch(
+                    [queries[i] for i in ix],
+                    [taus[i] for i in ix],
+                    [q_datas[i] for i in ix],
+                    None if stats is None else [stats[i] for i in ix],
+                ),
+                work=len(self.partitions[pid]) * len(idxs),
+            )
+            for i, matches in zip(idxs, local):
+                results[i].extend(matches)
+        return results
+
     def search_ids(self, query: Trajectory, tau: float) -> List[int]:
         """Sorted ids of matching trajectories (brute-force-comparable)."""
         return sorted(t.traj_id for t, _ in self.search(query, tau))

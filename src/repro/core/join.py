@@ -137,13 +137,16 @@ class JoinExecutor:
         sampled = [senders[int(i)] for i in idx]
         scale = n / len(sampled)
         trie = receiver_engine.tries[receiver_meta.partition_id]
-        trans = 0.0
+        senders_kept = [t for t in sampled if _relevant(t, receiver_meta, tau, self.adapter)]
+        trans = float(sum(t.nbytes() for t in senders_kept))
         comp = 0.0
-        for t in sampled:
-            if not _relevant(t, receiver_meta, tau, self.adapter):
-                continue
-            trans += t.nbytes()
-            comp += len(trie.filter_candidates(t.points, tau, self.adapter))
+        if senders_kept:
+            cand_lists = trie.filter_candidates_batch(
+                [t.points for t in senders_kept],
+                [tau] * len(senders_kept),
+                self.adapter,
+            )
+            comp = float(sum(len(c) for c in cand_lists))
         return trans * scale, comp * scale
 
     def plan(self, tau: float, use_orientation: bool = True, use_division: bool = True) -> OrientationPlan:
@@ -231,14 +234,18 @@ class JoinExecutor:
                 exec_worker = (home_worker + slot) % self.cluster.n_workers
 
                 def run_chunk(chunk=chunk, searcher=searcher, flip=flip, direction=edge.direction):
-                    for t in chunk:
-                        t_data = sender_data[(direction == "qt", t.traj_id)]
-                        if stats is not None:
-                            sstats = SearchStats()
-                            matches = searcher.search(t, tau, query_data=t_data, stats=sstats)
-                            stats.candidate_pairs += sstats.candidates
-                        else:
-                            matches = searcher.search(t, tau, query_data=t_data)
+                    # the whole chunk rides one frontier sweep over the
+                    # receiver's columnar trie, then verifies per query
+                    datas = [sender_data[(direction == "qt", t.traj_id)] for t in chunk]
+                    taus = [tau] * len(chunk)
+                    if stats is not None:
+                        sstats: List[Optional[SearchStats]] = [SearchStats() for _ in chunk]
+                        match_lists = searcher.search_batch(chunk, taus, datas, sstats)
+                        for s in sstats:
+                            stats.candidate_pairs += s.candidates
+                    else:
+                        match_lists = searcher.search_batch(chunk, taus, datas)
+                    for t, matches in zip(chunk, match_lists):
                         for other, dist in matches:
                             if flip:
                                 results.append((other.traj_id, t.traj_id, dist))

@@ -100,7 +100,7 @@ def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
     # rounds usually finish before the expensive wide search is needed
     tau = min(max(tau_lo, tau_hi / 256, 1e-12), tau_hi)
     for _ in range(128):  # tau doubles each round; bounded by construction
-        matches = engine.search(query, tau)
+        matches = engine.search_batch([query], [tau])[0]
         if len(matches) >= k:
             matches.sort(key=lambda m: (m[1], m[0].traj_id))
             return matches[:k]

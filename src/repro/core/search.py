@@ -62,20 +62,48 @@ class LocalSearcher:
     ) -> List[Match]:
         """All (trajectory, distance) pairs in this partition with
         ``f(T, Q) <= tau``."""
-        fstats = stats.filter if stats is not None else None
-        candidates = self.trie.filter_candidates(query.points, tau, self.adapter, fstats)
-        if query_data is None:
-            query_data = VerificationData.of(query, self.trie.config.cell_size)
-        vstats = stats.verify if stats is not None else None
-        return self.verifier.verify_batch(
-            candidates,
-            query,
-            tau,
-            query_data,
-            block=self.trie.batch_block(),
-            stats=vstats,
-            data_lookup=self.trie.verification.get,
+        return self.search_batch(
+            [query], [tau], [query_data], None if stats is None else [stats]
+        )[0]
+
+    def search_batch(
+        self,
+        queries: List[Trajectory],
+        taus: List[float],
+        query_datas: Optional[List[Optional[VerificationData]]] = None,
+        stats: Optional[List[Optional[SearchStats]]] = None,
+    ) -> List[List[Match]]:
+        """Answer many queries against this partition: one frontier sweep
+        over the columnar trie for the whole batch, then the batched
+        verifier per query.  Returns one match list per query — identical
+        to looping :meth:`search`."""
+        fstats = None if stats is None else [
+            s.filter if s is not None else None for s in stats
+        ]
+        cand_lists = self.trie.filter_candidates_batch(
+            [q.points for q in queries], list(taus), self.adapter, fstats
         )
+        block = self.trie.batch_block()
+        out: List[List[Match]] = []
+        for i, (query, tau, candidates) in enumerate(zip(queries, taus, cand_lists)):
+            q_data = query_datas[i] if query_datas is not None else None
+            if q_data is None:
+                q_data = VerificationData.of(query, self.trie.config.cell_size)
+            vstats = None
+            if stats is not None and stats[i] is not None:
+                vstats = stats[i].verify
+            out.append(
+                self.verifier.verify_batch(
+                    candidates,
+                    query,
+                    tau,
+                    q_data,
+                    block=block,
+                    stats=vstats,
+                    data_lookup=self.trie.verification.get,
+                )
+            )
+        return out
 
     def count_candidates(self, query: Trajectory, tau: float) -> int:
         """Candidate count only (the Figure 17 pruning-power metric)."""

@@ -27,9 +27,10 @@ import numpy as np
 
 from ..geometry.mbr import MBR
 from ..kernels.batch import TrajectoryBlock
+from ..kernels.frontier import ColumnarTrie, QueryBatch, frontier_filter
 from ..spatial.str_pack import str_partition
 from ..trajectory.trajectory import Trajectory
-from .adapters import FIRST, LAST, PIVOT, FilterState, IndexAdapter
+from .adapters import FIRST, LAST, PIVOT, FilterState, IndexAdapter, batch_visit_supported
 from .config import DITAConfig
 from .pivots import indexing_points
 from .verify import VerificationData
@@ -106,17 +107,36 @@ class TrieIndex:
         self.verification: Dict[int, VerificationData] = {
             t.traj_id: VerificationData.of(t, cfg.cell_size) for t in trajs
         }
+        self._ndim = trajs[0].points.shape[1] if trajs else 2
+        # every structural mutation bumps this; derived caches (the stacked
+        # verification block and the columnar trie) key on it, so an
+        # equal-size remove+insert cycle can never resurrect stale arrays
+        self._mutations = 0
         self._block: Optional[TrajectoryBlock] = None
+        self._block_version = -1
+        self._columnar: Optional[ColumnarTrie] = None
+        self._columnar_version = -1
         self.root = self._build(trajs, level=0) if _root is None else _root
 
     def batch_block(self) -> TrajectoryBlock:
         """The partition's verification artifacts stacked for the batched
         filter stages (:mod:`repro.kernels.batch`).  Built lazily from the
         ``verification`` dict (deterministic insertion order) and cached;
-        :meth:`insert` / :meth:`remove` invalidate the cache."""
-        if self._block is None or len(self._block) != len(self.verification):
+        :meth:`insert` / :meth:`remove` invalidate the cache via the
+        mutation-version counter."""
+        if self._block is None or self._block_version != self._mutations:
             self._block = TrajectoryBlock.from_verification(self.verification)
+            self._block_version = self._mutations
         return self._block
+
+    def columnar(self) -> ColumnarTrie:
+        """The trie flattened into contiguous arrays for frontier traversal
+        (:mod:`repro.kernels.frontier`); cached under the same
+        mutation-version contract as :meth:`batch_block`."""
+        if self._columnar is None or self._columnar_version != self._mutations:
+            self._columnar = ColumnarTrie.from_root(self.root, self._ndim)
+            self._columnar_version = self._mutations
+        return self._columnar
 
     # ------------------------------------------------------------------ #
     # construction
@@ -165,16 +185,74 @@ class TrieIndex:
         """Candidate trajectories possibly similar to query points ``q``.
 
         Guaranteed superset of the true answers for the adapter's distance.
+        Routed through the columnar frontier traversal when the config and
+        adapter allow it; identical results either way.
         """
+        q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        if self.config.use_frontier_filter and batch_visit_supported(adapter):
+            return self.filter_candidates_batch(
+                [q], [tau], adapter, None if stats is None else [stats]
+            )[0]
+        return self.filter_candidates_reference(q, tau, adapter, stats)
+
+    def filter_candidates_batch(
+        self,
+        queries: List[np.ndarray],
+        taus: List[float],
+        adapter: IndexAdapter,
+        stats: Optional[List[Optional[FilterStats]]] = None,
+    ) -> List[List[Trajectory]]:
+        """Run Algorithm 2 for many queries in one level-synchronous sweep
+        over the columnar trie layout (:mod:`repro.kernels.frontier`).
+
+        Returns one candidate list per query — the same sets (and the same
+        ``FilterStats`` counts) the recursive reference walk produces.
+        Adapters that customize the scalar ``visit`` without a matching
+        ``visit_batch`` fall back to the reference walk per query.
+        """
+        qs = [np.atleast_2d(np.asarray(q, dtype=np.float64)) for q in queries]
+        if len(qs) != len(taus):
+            raise ValueError("queries and taus must have equal length")
+        if stats is not None and len(stats) != len(qs):
+            raise ValueError("stats must have one (possibly None) entry per query")
+        if not (self.config.use_frontier_filter and batch_visit_supported(adapter)):
+            return [
+                self.filter_candidates_reference(
+                    q, t, adapter, None if stats is None else stats[i]
+                )
+                for i, (q, t) in enumerate(zip(qs, taus))
+            ]
+        trie = self.columnar()
+        batch = QueryBatch(qs)
+        positions, visited, pruned = frontier_filter(trie, batch, taus, adapter)
+        out: List[List[Trajectory]] = []
+        for i, pos in enumerate(positions):
+            members = [trie.members[int(p)] for p in pos]
+            if stats is not None and stats[i] is not None:
+                stats[i].nodes_visited += int(visited[i])
+                stats[i].nodes_pruned += int(pruned[i])
+                stats[i].candidates = len(members)
+            out.append(members)
+        return out
+
+    def filter_candidates_reference(
+        self,
+        q: np.ndarray,
+        tau: float,
+        adapter: IndexAdapter,
+        stats: Optional[FilterStats] = None,
+    ) -> List[Trajectory]:
+        """The recursive object-graph walk of Algorithm 2, kept as the
+        differential-testing oracle for the frontier traversal."""
         q = np.atleast_2d(np.asarray(q, dtype=np.float64))
         state = adapter.initial_state(q, tau)
         out: List[Trajectory] = []
-        self._filter(self.root, q, state, adapter, out, stats)
+        self._filter_reference(self.root, q, state, adapter, out, stats)
         if stats is not None:
             stats.candidates = len(out)
         return out
 
-    def _filter(
+    def _filter_reference(
         self,
         node: TrieNode,
         q: np.ndarray,
@@ -185,18 +263,18 @@ class TrieIndex:
     ) -> None:
         if stats is not None:
             stats.nodes_visited += 1
-        # anything whose indexing sequence ended here survived every level
+        # anything whose indexing sequence ended here survived every level,
+        # and leaf members are candidates outright; a node can hold members
+        # *and* children (insert's overflow path), so always keep walking
         out.extend(node.short_trajs)
-        if node.trajectories:
-            out.extend(node.trajectories)
-            return
+        out.extend(node.trajectories)
         for child in node.children:
             child_state = adapter.visit(state, child.kind, child.mbr, q, child.max_len)
             if child_state is None:
                 if stats is not None:
                     stats.nodes_pruned += 1
                 continue
-            self._filter(child, q, child_state, adapter, out, stats)
+            self._filter_reference(child, q, child_state, adapter, out, stats)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -245,7 +323,7 @@ class TrieIndex:
         seq = indexing_points(traj, cfg.num_pivots, cfg.pivot_strategy)
         self._index_seqs[traj.traj_id] = seq
         self.verification[traj.traj_id] = VerificationData.of(traj, cfg.cell_size)
-        self._block = None  # stacked batch arrays are stale now
+        self._mutations += 1  # stacked batch/columnar arrays are stale now
         self._n += 1
         node = self.root
         level = 0
@@ -311,7 +389,7 @@ class TrieIndex:
         if removed:
             del self._index_seqs[traj_id]
             del self.verification[traj_id]
-            self._block = None  # stacked batch arrays are stale now
+            self._mutations += 1  # stacked batch/columnar arrays are stale now
             self._n -= 1
         return removed
 

@@ -17,6 +17,11 @@ package delivers both:
   (Lemma 5.6) evaluated for a whole candidate list with matrix operations
   over contiguous stacked arrays (:class:`~repro.kernels.batch.TrajectoryBlock`),
   so only surviving pairs ever reach an exact kernel.
+* :mod:`repro.kernels.frontier` — the columnar trie layout
+  (:class:`~repro.kernels.frontier.ColumnarTrie`) and the
+  level-synchronous frontier traversal that runs Algorithm 2's filter
+  walk for many queries at once as chunked array passes instead of a
+  per-node Python recursion.
 
 The legacy per-cell loop implementations remain available as
 ``*_reference`` functions in :mod:`repro.distances` and are used for
@@ -25,6 +30,16 @@ the other and emits ``BENCH_kernels.json``.
 """
 
 from .batch import TrajectoryBlock, batch_cell_bounds, batch_mbr_coverage
+from .frontier import (
+    BatchStep,
+    BatchVisit,
+    ColumnarTrie,
+    QueryBatch,
+    frontier_filter,
+    rows_point_box_dist,
+    span_drop_min,
+    span_min_dist,
+)
 from .wavefront import (
     dtw_wavefront,
     dtw_wavefront_last_row,
@@ -38,9 +53,17 @@ from .wavefront import (
 )
 
 __all__ = [
+    "BatchStep",
+    "BatchVisit",
+    "ColumnarTrie",
+    "QueryBatch",
     "TrajectoryBlock",
     "batch_cell_bounds",
     "batch_mbr_coverage",
+    "frontier_filter",
+    "rows_point_box_dist",
+    "span_drop_min",
+    "span_min_dist",
     "dtw_wavefront",
     "dtw_wavefront_last_row",
     "dtw_wavefront_threshold",

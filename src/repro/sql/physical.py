@@ -165,7 +165,7 @@ class IndexSearch(PhysicalOperator):
         b = self.binding
         return [
             {f"{b}.traj_id": t.traj_id, f"{b}.trajectory": t, "distance": d}
-            for t, d in self.engine.search(self.query, self.tau)
+            for t, d in self.engine.search_batch([self.query], [self.tau])[0]
         ]
 
 

@@ -167,3 +167,39 @@ class TestPartitioners:
             DITAPartitioner(0)
         with pytest.raises(ValueError):
             RandomPartitioner(0)
+
+
+class TestWorkerHeapPacking:
+    """charge_compute uses a heap of core clocks; packing must stay
+    byte-identical to the linear min-scan it replaced (ties to the
+    smallest core index, same float additions in the same order)."""
+
+    def test_matches_min_scan_reference(self):
+        import numpy as np
+
+        rng = np.random.default_rng(41)
+        w = Worker(0, cores=7)
+        ref = [0.0] * 7
+        for _ in range(400):
+            s = float(rng.uniform(0.0, 2.0))
+            w.charge_compute(s)
+            i = min(range(7), key=lambda k: ref[k])
+            ref[i] += s
+        assert w.core_clocks == ref  # exact float equality, not approx
+
+    def test_ties_go_to_lowest_core_index(self):
+        w = Worker(0, cores=3)
+        for _ in range(3):
+            w.charge_compute(1.0)
+        assert w.core_clocks == [1.0, 1.0, 1.0]
+        w.charge_compute(0.5)
+        assert w.core_clocks == [1.5, 1.0, 1.0]
+
+    def test_reset_rebuilds_heap(self):
+        w = Worker(0, cores=2)
+        w.charge_compute(4.0)
+        w.reset()
+        w.charge_compute(1.0)
+        w.charge_compute(2.0)
+        assert w.core_clocks == [1.0, 2.0]
+        assert w.busy_time == 2.0

@@ -21,12 +21,17 @@ def _run_once(seed):
 
     query = dataset.by_id(sorted(dataset.ids)[0])
     matches = engine.search(query, 0.003)
+    batch_queries = [dataset.by_id(i) for i in sorted(dataset.ids)[:3]]
+    batch_matches = engine.search_batch(batch_queries, [0.003] * 3)
     pairs = engine.self_join(0.002)
     report = engine.cluster.report()
 
     return json.dumps(
         {
             "matches": sorted((t.traj_id, repr(d)) for t, d in matches),
+            "batch_matches": [
+                sorted((t.traj_id, repr(d)) for t, d in m) for m in batch_matches
+            ],
             "pairs": sorted((a, b, repr(d)) for a, b, d in pairs),
             "worker_times": {str(k): repr(v) for k, v in sorted(report.worker_times.items())},
             "makespan": repr(report.makespan),

@@ -123,3 +123,47 @@ class TestParameterEffects:
         shallow = TrieIndex(data, DITAConfig(trie_leaf_capacity=64, trie_fanout=4, cell_size=0.05))
         deep = TrieIndex(data, DITAConfig(trie_leaf_capacity=1, trie_fanout=4, cell_size=0.05))
         assert deep.node_count() > shallow.node_count()
+
+
+class TestMutationVersioning:
+    """Derived caches key on an explicit mutation counter, so an equal-size
+    remove+insert cycle can never resurrect stale stacked arrays (the old
+    length-equality check would have)."""
+
+    def _trie_and_extra(self):
+        data = list(random_walk_dataset(24, avg_len=8, seed=9))
+        cfg = DITAConfig(trie_fanout=3, num_pivots=2, trie_leaf_capacity=4, cell_size=0.05)
+        return TrieIndex(data[:23], cfg), data[23]
+
+    def test_caches_stable_without_mutation(self):
+        trie, _ = self._trie_and_extra()
+        assert trie.batch_block() is trie.batch_block()
+        assert trie.columnar() is trie.columnar()
+
+    def test_equal_size_remove_insert_refreshes_caches(self):
+        trie, extra = self._trie_and_extra()
+        victim = trie.all_trajectories()[0].traj_id
+        block_before = trie.batch_block()
+        columnar_before = trie.columnar()
+        assert trie.remove(victim)
+        trie.insert(extra)  # same size as before the removal
+        block_after = trie.batch_block()
+        columnar_after = trie.columnar()
+        assert block_after is not block_before
+        assert columnar_after is not columnar_before
+        member_ids = {t.traj_id for t in columnar_after.members}
+        assert extra.traj_id in member_ids
+        assert victim not in member_ids
+
+    def test_filtering_sees_replacement(self):
+        trie, extra = self._trie_and_extra()
+        victim = trie.all_trajectories()[0].traj_id
+        trie.filter_candidates(extra.points, 0.1, DTWAdapter())  # warm caches
+        trie.remove(victim)
+        trie.insert(extra)
+        ids = {
+            t.traj_id
+            for t in trie.filter_candidates(extra.points, 100.0, DTWAdapter())
+        }
+        assert extra.traj_id in ids
+        assert victim not in ids
