@@ -1,0 +1,187 @@
+"""Fault-tolerance benchmarks: what recovery costs in simulated makespan.
+
+Runs a fixed search+join workload under seeded fault plans and reports the
+*simulated* cost of resilience — everything here is deterministic (same
+seeds ⇒ byte-identical JSON), because the quantity of interest is the
+recovery overhead the cluster model charges, not host wall time:
+
+* task-failure sweep: makespan overhead vs. transient failure rate;
+* crash sweep: lineage recovery (re-placement + real trie rebuilds) vs.
+  worker crash rate;
+* straggler duel: one slow worker, speculation off vs. on.
+
+Every faulty run's results are asserted equal to the healthy run before
+anything is recorded.  Emits ``BENCH_faults.json``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py            # full
+    PYTHONPATH=src python benchmarks/bench_faults.py --smoke    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.cluster import FaultPlan, RecoveryPolicy
+from repro.core.config import DITAConfig
+from repro.core.engine import DITAEngine
+from repro.datagen import beijing_like, sample_queries
+
+N_FULL = 400
+N_SMOKE = 120
+N_QUERIES = 8
+TAU = 0.004
+JOIN_TAU = 0.002
+CFG = DITAConfig(num_global_partitions=3, trie_fanout=4, num_pivots=3)
+PATIENT = RecoveryPolicy(max_retries=10)
+
+FAILURE_RATES = [0.0, 0.1, 0.3, 0.5]
+CRASH_RATES = [0.0, 0.25, 0.5]
+
+
+def run_workload(
+    data, queries, plan: Optional[FaultPlan], policy: Optional[RecoveryPolicy] = None
+):
+    """Build an engine, optionally install faults, run the workload, and
+    return (results, ExecutionReport)."""
+    engine = DITAEngine(data, CFG)
+    if plan is not None:
+        engine.cluster.install_faults(plan, policy or PATIENT)
+    batches = engine.search_batch(queries, [TAU] * len(queries))
+    results = {
+        "search": [sorted((t.traj_id, d) for t, d in b) for b in batches],
+        "join": engine.self_join(JOIN_TAU),
+    }
+    return results, engine.cluster.report()
+
+
+def bench_failure_sweep(data, queries, healthy) -> List[Dict[str, object]]:
+    rows = []
+    want, base = healthy
+    for rate in FAILURE_RATES:
+        plan = FaultPlan(seed=17, task_failure_rate=rate, message_drop_rate=rate / 2)
+        got, rep = run_workload(data, queries, plan)
+        assert got == want, f"results diverged at failure rate {rate}"
+        f = rep.faults
+        row = {
+            "rate": rate,
+            "makespan_s": rep.makespan,
+            "makespan_ratio": rep.makespan / base.makespan,
+            "task_failures": f.task_failures,
+            "message_drops": f.message_drops,
+            "overhead_s": f.overhead_s,
+        }
+        rows.append(row)
+        print(
+            f"  p={rate:<4} makespan {rep.makespan:8.4f} s "
+            f"({row['makespan_ratio']:5.2f}x)   failures {f.task_failures:3d}   "
+            f"drops {f.message_drops:3d}   overhead {f.overhead_s:8.4f} s"
+        )
+    return rows
+
+
+def bench_crash_sweep(data, queries, healthy) -> List[Dict[str, object]]:
+    rows = []
+    want, base = healthy
+    for rate in CRASH_RATES:
+        plan = FaultPlan(seed=23, worker_crash_rate=rate, crash_after_tasks_max=3)
+        got, rep = run_workload(data, queries, plan)
+        assert got == want, f"results diverged at crash rate {rate}"
+        f = rep.faults
+        row = {
+            "rate": rate,
+            "makespan_s": rep.makespan,
+            "makespan_ratio": rep.makespan / base.makespan,
+            "worker_crashes": f.worker_crashes,
+            "recovered_partitions": f.recovered_partitions,
+            "rebuild_compute_s": f.rebuild_compute_s,
+        }
+        rows.append(row)
+        print(
+            f"  p={rate:<4} makespan {rep.makespan:8.4f} s "
+            f"({row['makespan_ratio']:5.2f}x)   crashes {f.worker_crashes}   "
+            f"recovered {f.recovered_partitions:3d}   "
+            f"rebuild {f.rebuild_compute_s:8.4f} s"
+        )
+    return rows
+
+
+def bench_speculation(data, queries, healthy) -> Dict[str, object]:
+    """One straggler worker, 8x slow: speculation off vs. on."""
+    want, _ = healthy
+    n_workers = DITAEngine(data, CFG).cluster.n_workers
+    seed = next(
+        s for s in range(500)
+        if sum(
+            1 for f in FaultPlan(
+                seed=s, straggler_rate=0.25, straggler_slowdown=8.0
+            ).straggler_factors(n_workers) if f > 1.0
+        ) == 1
+    )
+    plan = FaultPlan(seed=seed, straggler_rate=0.25, straggler_slowdown=8.0)
+    out = {"seed": seed, "n_workers": n_workers, "slowdown": 8.0}
+    for label, speculate in (("off", False), ("on", True)):
+        got, rep = run_workload(
+            data, queries, plan, RecoveryPolicy(use_speculation=speculate)
+        )
+        assert got == want, f"results diverged with speculation {label}"
+        out[f"makespan_{label}_s"] = rep.makespan
+        if speculate:
+            out["speculative_tasks"] = rep.faults.speculative_tasks
+            out["speculative_wins"] = rep.faults.speculative_wins
+    out["speedup"] = out["makespan_off_s"] / out["makespan_on_s"]
+    assert out["makespan_on_s"] < out["makespan_off_s"], "speculation must win here"
+    print(
+        f"  straggler x8 on worker sweep: off {out['makespan_off_s']:.4f} s   "
+        f"on {out['makespan_on_s']:.4f} s   ({out['speedup']:.2f}x, "
+        f"{out['speculative_wins']}/{out['speculative_tasks']} wins)"
+    )
+    return out
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="CI-sized run")
+    ap.add_argument("--out", type=Path, default=None, help="output JSON path")
+    args = ap.parse_args()
+    n = N_SMOKE if args.smoke else N_FULL
+    out_path = args.out or Path(__file__).resolve().parent / "BENCH_faults.json"
+
+    data = beijing_like(n, seed=7)
+    queries = sample_queries(data, N_QUERIES, seed=5)
+    healthy = run_workload(data, queries, None)
+    print(f"healthy makespan: {healthy[1].makespan:.4f} s  (n={n})")
+
+    print("== transient failures + message drops ==")
+    failure_rows = bench_failure_sweep(data, queries, healthy)
+    print("== worker crashes (lineage recovery) ==")
+    crash_rows = bench_crash_sweep(data, queries, healthy)
+    print("== straggler speculation ==")
+    spec_row = bench_speculation(data, queries, healthy)
+
+    result = {
+        "meta": {
+            "smoke": args.smoke,
+            "n": n,
+            "n_queries": N_QUERIES,
+            "tau": TAU,
+            "join_tau": JOIN_TAU,
+            "seed": 7,
+            "note": "simulated seconds (deterministic cluster model)",
+        },
+        "healthy_makespan_s": healthy[1].makespan,
+        "failure_sweep": failure_rows,
+        "crash_sweep": crash_rows,
+        "speculation": spec_row,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ Quick start::
     print(engine.search(query, tau=0.005))
 """
 
+from .cluster.faults import FaultPlan, FaultReport, RecoveryPolicy, TaskAbandonedError
 from .core.config import DITAConfig
 from .core.engine import DITAEngine
 from .distances import available_distances, get_distance
@@ -27,6 +28,10 @@ __version__ = "1.0.0"
 __all__ = [
     "DITAConfig",
     "DITAEngine",
+    "FaultPlan",
+    "FaultReport",
+    "RecoveryPolicy",
+    "TaskAbandonedError",
     "Trajectory",
     "TrajectoryDataset",
     "available_distances",

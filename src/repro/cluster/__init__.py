@@ -1,4 +1,5 @@
-"""Simulated Spark-like cluster: workers, network model, partitioners."""
+"""Simulated Spark-like cluster: workers, network model, partitioners,
+deterministic fault injection and recovery."""
 
 from .clock import (
     Stopwatch,
@@ -6,6 +7,14 @@ from .clock import (
     unit_cost_measure,
     wall_clock,
     wall_clock_measure,
+)
+from .faults import (
+    FaultPlan,
+    FaultReport,
+    FaultSession,
+    PartitionLostError,
+    RecoveryPolicy,
+    TaskAbandonedError,
 )
 from .metrics import ExecutionReport
 from .network import NetworkModel
@@ -16,9 +25,15 @@ __all__ = [
     "Cluster",
     "DITAPartitioner",
     "ExecutionReport",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSession",
     "NetworkModel",
+    "PartitionLostError",
     "RandomPartitioner",
+    "RecoveryPolicy",
     "Stopwatch",
+    "TaskAbandonedError",
     "Worker",
     "make_fixed_cost_measure",
     "unit_cost_measure",

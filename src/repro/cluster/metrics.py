@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # import cycle: faults imports nothing from here, but
+    from .faults import FaultReport  # metrics is imported by simulator first
 
 
 @dataclass
@@ -13,6 +16,9 @@ class ExecutionReport:
     ``makespan`` is the simulated wall-clock (max over workers of their
     compute + network time); ``load_ratio`` is the paper's Figure 16 metric
     (busiest worker time divided by the least busy worker's time).
+    ``faults`` carries the fault-injection/recovery accounting when the
+    cluster ran under a :class:`~repro.cluster.faults.FaultPlan` (None on a
+    healthy cluster).
     """
 
     worker_times: Dict[int, float] = field(default_factory=dict)
@@ -20,6 +26,7 @@ class ExecutionReport:
     total_network_s: float = 0.0
     total_network_bytes: int = 0
     tasks: int = 0
+    faults: Optional["FaultReport"] = None
 
     @property
     def makespan(self) -> float:
@@ -44,3 +51,22 @@ class ExecutionReport:
         self.total_network_s += other.total_network_s
         self.total_network_bytes += other.total_network_bytes
         self.tasks += other.tasks
+        if other.faults is not None:
+            if self.faults is None:
+                self.faults = other.faults.copy()
+            else:
+                self.faults.merge(other.faults)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot with floats repr'd, so two identical
+        runs serialize to byte-identical JSON (the determinism contract)."""
+        return {
+            "worker_times": {str(k): repr(v) for k, v in sorted(self.worker_times.items())},
+            "makespan": repr(self.makespan),
+            "load_ratio": repr(self.load_ratio),
+            "total_compute_s": repr(self.total_compute_s),
+            "total_network_s": repr(self.total_network_s),
+            "total_network_bytes": self.total_network_bytes,
+            "tasks": self.tasks,
+            "faults": None if self.faults is None else self.faults.to_dict(),
+        }

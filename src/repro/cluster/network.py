@@ -13,16 +13,26 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class NetworkModel:
-    """Bandwidth/latency model; defaults match 1 Gbps Ethernet."""
+    """Bandwidth/latency model; defaults match 1 Gbps Ethernet.
+
+    ``drop_detect_s`` is the extra sender-side delay to detect a dropped
+    message (timeout) under fault injection; it is charged per drop by
+    :meth:`Cluster.ship <repro.cluster.simulator.Cluster.ship>` on top of
+    the wasted transfer itself.  The default 0 keeps fault-free numbers
+    and legacy reports unchanged.
+    """
 
     bandwidth_bytes_per_s: float = 125e6
     latency_s: float = 0.0002
+    drop_detect_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.bandwidth_bytes_per_s <= 0:
             raise ValueError("bandwidth must be positive")
         if self.latency_s < 0:
             raise ValueError("latency must be non-negative")
+        if self.drop_detect_s < 0:
+            raise ValueError("drop_detect_s must be non-negative")
 
     def transfer_time(self, nbytes: int) -> float:
         """Seconds to move ``nbytes`` across one link."""

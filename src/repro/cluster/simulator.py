@@ -24,6 +24,17 @@ Workers expose ``cores``: charging divides task time by 1 (tasks are the
 unit of parallelism, as in Spark), but a worker with ``c`` cores runs up to
 ``c`` of its queued tasks concurrently, which we model with a longest-
 processing-time greedy packing onto per-core clocks.
+
+Fault tolerance (:mod:`repro.cluster.faults`): installing a
+:class:`~repro.cluster.faults.FaultPlan` makes every task attempt and every
+ship consult the plan.  Failed attempts charge their partial cost but never
+execute the task body, so results are identical to the fault-free run;
+crashed workers trigger lineage-based partition re-execution (re-placement
+plus a registered rebuild closure run on a surviving worker); stragglers
+get speculative task copies.  Everything is counted in a
+:class:`~repro.cluster.faults.FaultReport` attached to the job's
+:class:`ExecutionReport`.  Fault decisions are keyed by event index, not by
+a stateful RNG, so same seed + same plan ⇒ byte-identical reports.
 """
 
 from __future__ import annotations
@@ -33,6 +44,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .clock import TaskMeasure, unit_cost_measure
+from .faults import (
+    FaultPlan,
+    FaultReport,
+    FaultSession,
+    PartitionLostError,
+    RecoveryPolicy,
+    TaskAbandonedError,
+)
 from .metrics import ExecutionReport
 from .network import NetworkModel
 
@@ -46,6 +65,10 @@ class Worker:
     #: accumulated per-core busy time within the current job
     core_clocks: List[float] = field(default_factory=list)
     network_s: float = 0.0
+    #: False once the fault layer has crashed this worker (until reset)
+    alive: bool = True
+    #: task attempts started here — the fault layer's crash-point odometer
+    tasks_started: int = 0
 
     def __post_init__(self) -> None:
         if not self.core_clocks:
@@ -77,13 +100,31 @@ class Worker:
         return max(self.core_clocks) + self.network_s
 
     def reset(self) -> None:
+        """Fresh-job state: clear clocks *and* the compute heap *and* the
+        network counter *and* the fault-layer fields — back-to-back
+        experiments on one cluster must not leak simulated time, crashes
+        or crash-point progress from the previous job."""
         self.core_clocks = [0.0] * self.cores
         self.network_s = 0.0
+        self.alive = True
+        self.tasks_started = 0
         self._rebuild_heap()
 
 
 class Cluster:
-    """A simulated cluster: workers, partition placement, cost accounting."""
+    """A simulated cluster: workers, partition placement, cost accounting.
+
+    Parameters
+    ----------
+    n_workers, cores_per_worker, network, measure:
+        As before (see the module docstring).
+    faults:
+        Optional :class:`~repro.cluster.faults.FaultPlan` to install at
+        construction; equivalent to calling :meth:`install_faults`.
+    recovery:
+        The :class:`~repro.cluster.faults.RecoveryPolicy` used when
+        ``faults`` is given (defaults apply otherwise).
+    """
 
     def __init__(
         self,
@@ -91,6 +132,8 @@ class Cluster:
         cores_per_worker: int = 1,
         network: Optional[NetworkModel] = None,
         measure: Optional[TaskMeasure] = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -102,7 +145,56 @@ class Cluster:
         #: explicitly opts into wall-clock profiling
         self.measure: TaskMeasure = measure or unit_cost_measure
         self._placement: Dict[int, int] = {}
+        #: placement as last set by the caller — recovery re-placements
+        #: drift ``_placement`` away from it; ``reset_clocks`` restores it
+        self._baseline_placement: Dict[int, int] = {}
         self._report = ExecutionReport()
+        #: lineage rebuild closures: partition id -> (fn, work units)
+        self._rebuilds: Dict[int, Tuple[Callable[[], Any], float]] = {}
+        self._faults: Optional[FaultSession] = None
+        if faults is not None:
+            self.install_faults(faults, recovery)
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def faults(self) -> Optional[FaultSession]:
+        """The installed fault session, or None on a healthy cluster."""
+        return self._faults
+
+    def install_faults(
+        self, plan: FaultPlan, policy: Optional[RecoveryPolicy] = None
+    ) -> FaultSession:
+        """Attach a seeded fault plan to this cluster.  Subsequent tasks
+        and ships consult it; ``reset_clocks`` rewinds it with the clocks
+        so every job replays the same fault sequence."""
+        self._faults = FaultSession(
+            plan=plan,
+            policy=policy or RecoveryPolicy(),
+            n_workers=self.n_workers,
+        )
+        return self._faults
+
+    def clear_faults(self) -> None:
+        """Detach the fault session and revive every worker."""
+        self._faults = None
+        for w in self.workers:
+            w.alive = True
+
+    def fault_report(self) -> Optional[FaultReport]:
+        """Snapshot of the session's fault accounting (None if no plan)."""
+        return self._faults.report.copy() if self._faults else None
+
+    def register_rebuild(
+        self, partition_id: int, fn: Callable[[], Any], work: float = 1.0
+    ) -> None:
+        """Register the lineage closure re-creating ``partition_id``'s
+        state (e.g. its local index build).  When the partition's worker
+        crashes, the closure runs *for real* on the surviving worker that
+        inherits the partition and its cost is charged there."""
+        self._rebuilds[partition_id] = (fn, float(work))
 
     # ------------------------------------------------------------------ #
     # placement
@@ -120,11 +212,13 @@ class Cluster:
         """Round-robin placement, Spark's default for freshly built RDDs."""
         for i, pid in enumerate(partition_ids):
             self._placement[pid] = i % self.n_workers
+            self._baseline_placement[pid] = i % self.n_workers
 
     def place_partition(self, partition_id: int, worker_id: int) -> None:
         if not 0 <= worker_id < self.n_workers:
             raise ValueError(f"no worker {worker_id}")
         self._placement[partition_id] = worker_id
+        self._baseline_placement[partition_id] = worker_id
 
     def worker_of(self, partition_id: int) -> int:
         try:
@@ -133,12 +227,144 @@ class Cluster:
             raise KeyError(f"partition {partition_id} is not placed") from None
 
     # ------------------------------------------------------------------ #
+    # fault-layer internals
+    # ------------------------------------------------------------------ #
+
+    def _worker_alive(self, worker_id: int) -> bool:
+        """Liveness check; lazily marks a worker crashed once its planned
+        crash point is reached (counting the crash exactly once)."""
+        w = self.workers[worker_id]
+        if not w.alive:
+            return False
+        session = self._faults
+        if session is not None and session.crashes_at(worker_id, w.tasks_started):
+            w.alive = False
+            session.report.worker_crashes += 1
+            return False
+        return True
+
+    def _next_alive(self, worker_id: int) -> int:
+        """The first surviving worker scanning upward from ``worker_id``
+        (deterministic); raises :class:`PartitionLostError` if none."""
+        for k in range(1, self.n_workers + 1):
+            cand = (worker_id + k) % self.n_workers
+            if self._worker_alive(cand):
+                return cand
+        raise PartitionLostError("no surviving worker to host the partition")
+
+    def _recover_partition(self, partition_id: int) -> int:
+        """Lineage-based re-execution: re-place the partition on a
+        surviving worker and re-run its registered rebuild closure there,
+        charging the rebuild cost to the new home."""
+        session = self._faults
+        assert session is not None
+        new_wid = self._next_alive(self._placement[partition_id])
+        self._placement[partition_id] = new_wid
+        session.report.recovered_partitions += 1
+        rebuild = self._rebuilds.get(partition_id)
+        if rebuild is not None:
+            fn, work = rebuild
+            _, cost = self.measure(fn, work)
+            self.workers[new_wid].charge_compute(cost)
+            session.report.rebuild_compute_s += cost
+        return new_wid
+
+    def _price_work(self, work: float) -> float:
+        """The measure's price for ``work`` units without running a body —
+        the nominal cost a failed attempt's partial charge scales from."""
+        _, cost = self.measure(lambda: None, work)
+        return cost
+
+    def _speculation_target(self, avoid: int) -> Optional[int]:
+        """The healthiest (lowest slowdown factor), least busy surviving
+        worker other than ``avoid``; ties break on worker id."""
+        session = self._faults
+        assert session is not None
+        best: Optional[int] = None
+        best_key: Optional[Tuple[float, float, int]] = None
+        for w in self.workers:
+            if w.worker_id == avoid or not self._worker_alive(w.worker_id):
+                continue
+            key = (session.factor(w.worker_id), w.busy_time, w.worker_id)
+            if best_key is None or key < best_key:
+                best, best_key = w.worker_id, key
+        return best
+
+    def _run_task(
+        self,
+        fn: Callable[[], Any],
+        work: float,
+        partition_id: Optional[int] = None,
+        worker_id: Optional[int] = None,
+    ) -> Any:
+        """Fault-aware task execution: retry with exponential backoff on
+        transient failures, recover crashed homes, speculate stragglers.
+        The task body runs exactly once, on the successful attempt."""
+        session = self._faults
+        assert session is not None
+        policy = session.policy
+        seq = session.next_task_seq()
+        nominal = self._price_work(work)
+        attempt = 0
+        while True:
+            if partition_id is not None:
+                wid = self.worker_of(partition_id)
+                if not self._worker_alive(wid):
+                    wid = self._recover_partition(partition_id)
+            else:
+                wid = worker_id  # type: ignore[assignment]
+                if not self._worker_alive(wid):
+                    wid = self._next_alive(wid)
+                    session.report.rerouted_tasks += 1
+            w = self.workers[wid]
+            w.tasks_started += 1
+            factor = session.factor(wid)
+            if session.plan.task_fails(seq, attempt):
+                session.report.task_failures += 1
+                wasted = session.plan.failure_progress(seq, attempt) * nominal * factor
+                w.charge_compute(wasted)
+                session.report.wasted_compute_s += wasted
+                if attempt >= policy.max_retries:
+                    session.report.abandoned_tasks += 1
+                    raise TaskAbandonedError(f"task {seq}", attempt + 1)
+                backoff = policy.backoff_s(attempt)
+                w.charge_compute(backoff)
+                session.report.backoff_wait_s += backoff
+                session.report.task_retries += 1
+                attempt += 1
+                continue
+            result, elapsed = self.measure(fn, work)
+            slowed = elapsed * factor
+            charged = slowed
+            if session.should_speculate(factor):
+                target = self._speculation_target(wid)
+                if target is not None:
+                    # both copies run until the faster finishes, then the
+                    # loser is killed: each worker is busy for the winning
+                    # attempt's duration
+                    t_cost = elapsed * session.factor(target)
+                    charged = min(slowed, t_cost)
+                    self.workers[target].charge_compute(charged)
+                    session.report.speculative_tasks += 1
+                    session.report.speculative_compute_s += charged
+                    if t_cost < slowed:
+                        session.report.speculative_wins += 1
+            w.charge_compute(charged)
+            if charged > elapsed:
+                session.report.straggler_excess_s += charged - elapsed
+            self._report.total_compute_s += elapsed
+            self._report.tasks += 1
+            return result
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
 
     def run_local(self, partition_id: int, fn: Callable[[], Any], work: float = 1.0) -> Any:
         """Execute ``fn`` on the partition's worker and charge its cost (as
         priced by the cluster's measure hook) to that worker's clock."""
+        if self._faults is not None:
+            return self._run_task(fn, work, partition_id=partition_id)
         wid = self.worker_of(partition_id)
         result, elapsed = self.measure(fn, work)
         self.workers[wid].charge_compute(elapsed)
@@ -151,6 +377,8 @@ class Cluster:
         routes a task away from its partition's home) and charge its cost."""
         if not 0 <= worker_id < self.n_workers:
             raise ValueError(f"no worker {worker_id}")
+        if self._faults is not None:
+            return self._run_task(fn, work, worker_id=worker_id)
         result, elapsed = self.measure(fn, work)
         self.workers[worker_id].charge_compute(elapsed)
         self._report.total_compute_s += elapsed
@@ -158,7 +386,10 @@ class Cluster:
         return result
 
     def charge_compute(self, partition_id: int, seconds: float) -> None:
-        """Charge pre-measured compute time to a partition's worker."""
+        """Charge pre-measured compute time to a partition's worker.
+
+        Pre-measured charges bypass fault injection (they model already-
+        completed work); use :meth:`run_local` for fault-tolerant tasks."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         wid = self.worker_of(partition_id)
@@ -180,12 +411,51 @@ class Cluster:
     def ship(self, src_partition: int, dst_partition: int, nbytes: int) -> float:
         """Account a data transfer between two partitions' workers.
 
-        Returns the simulated transfer time (0 when co-located)."""
+        Under a fault plan, a crashed endpoint first triggers lineage
+        recovery of its partition, and each delivery attempt may be
+        dropped — the wasted transfer is charged to both endpoints and the
+        message is re-sent after backoff, up to ``max_retries`` times.
+
+        Returns the simulated time of the *successful* transfer (0 when
+        co-located); drop/backoff costs appear in the fault report."""
+        session = self._faults
+        if session is None:
+            src_w = self.worker_of(src_partition)
+            dst_w = self.worker_of(dst_partition)
+            if src_w == dst_w:
+                return 0.0
+            t = self.network.transfer_time(nbytes)
+            self.workers[src_w].charge_network(t)
+            self.workers[dst_w].charge_network(t)
+            self._report.total_network_s += t
+            self._report.total_network_bytes += nbytes
+            return t
         src_w = self.worker_of(src_partition)
+        if not self._worker_alive(src_w):
+            src_w = self._recover_partition(src_partition)
         dst_w = self.worker_of(dst_partition)
+        if not self._worker_alive(dst_w):
+            dst_w = self._recover_partition(dst_partition)
         if src_w == dst_w:
             return 0.0
         t = self.network.transfer_time(nbytes)
+        policy = session.policy
+        seq = session.next_ship_seq()
+        attempt = 0
+        while session.plan.ship_dropped(seq, attempt):
+            session.report.message_drops += 1
+            wasted = t + self.network.drop_detect_s
+            self.workers[src_w].charge_network(wasted)
+            self.workers[dst_w].charge_network(t)
+            session.report.resend_network_s += wasted + t
+            if attempt >= policy.max_retries:
+                session.report.abandoned_tasks += 1
+                raise TaskAbandonedError(f"message {seq}", attempt + 1)
+            backoff = policy.backoff_s(attempt)
+            self.workers[src_w].charge_network(backoff)
+            session.report.backoff_wait_s += backoff
+            session.report.message_resends += 1
+            attempt += 1
         self.workers[src_w].charge_network(t)
         self.workers[dst_w].charge_network(t)
         self._report.total_network_s += t
@@ -204,11 +474,18 @@ class Cluster:
             total_network_s=self._report.total_network_s,
             total_network_bytes=self._report.total_network_bytes,
             tasks=self._report.tasks,
+            faults=self.fault_report(),
         )
         return rep
 
     def reset_clocks(self) -> None:
-        """Start a fresh job: zero every worker clock and the counters."""
+        """Start a fresh job: zero every worker clock and the counters,
+        revive crashed workers, rewind the fault stream, and restore the
+        caller's partition placement (recovery may have re-placed
+        partitions during the previous job)."""
         for w in self.workers:
             w.reset()
         self._report = ExecutionReport()
+        if self._faults is not None:
+            self._faults.reset()
+        self._placement = dict(self._baseline_placement)

@@ -95,6 +95,8 @@ class DITAEngine:
         if cluster is None:
             cluster = Cluster(n_workers=min(16, max(1, len(self.partitions))))
         self.cluster = cluster
+        if self.config.use_fault_injection and cluster.faults is None:
+            cluster.install_faults(self.config.fault_plan(), self.config.recovery_policy())
         # left engine partitions occupy [0, n); a right engine in a join is
         # offset by n (JoinExecutor._cluster_pid)
         cluster.place_partitions(sorted(self.partitions))
@@ -102,6 +104,35 @@ class DITAEngine:
             pid: LocalSearcher(trie, self.adapter, self.verifier)
             for pid, trie in self.tries.items()
         }
+        self._register_rebuilds(cluster)
+
+    # ------------------------------------------------------------------ #
+    # fault tolerance (lineage)
+    # ------------------------------------------------------------------ #
+
+    def _register_rebuilds(self, cluster: Cluster, offset: int = 0) -> None:
+        """Register each partition's lineage closure with the cluster:
+        when a worker crashes, the surviving worker that inherits a
+        partition re-runs its local index build *for real* (deterministic,
+        so post-recovery answers are identical) and is charged for it."""
+        for pid, part in self.partitions.items():
+            cluster.register_rebuild(
+                offset + pid, self._make_rebuild(pid), work=len(part)
+            )
+
+    def _make_rebuild(self, pid: int) -> Callable[[], None]:
+        def rebuild() -> None:
+            part = self.partitions[pid]
+            trie = TrieIndex(part, self.config)
+            trie.batch_block()
+            self.tries[pid] = trie
+            self._searchers[pid] = LocalSearcher(trie, self.adapter, self.verifier)
+
+        return rebuild
+
+    def fault_report(self):
+        """The cluster's fault accounting (None without a fault plan)."""
+        return self.cluster.fault_report()
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -173,6 +204,7 @@ class DITAEngine:
             pid: LocalSearcher(self.tries[pid], self.adapter, self.verifier)
             for pid in self.tries
         }
+        self._register_rebuilds(self.cluster)
 
     # ------------------------------------------------------------------ #
     # search (Section 5)
@@ -289,11 +321,14 @@ class DITAEngine:
         """
         if tau < 0:
             raise ValueError("tau must be non-negative")
-        # a joint cluster namespace: re-place both engines' partitions
+        # a joint cluster namespace: re-place both engines' partitions and
+        # register both sides' lineage closures under the joint ids
         cluster = self.cluster
         left_pids = sorted(self.partitions)
         right_pids = [self.n_partitions + pid for pid in sorted(other.partitions)]
         cluster.place_partitions(left_pids + right_pids)
+        self._register_rebuilds(cluster)
+        other._register_rebuilds(cluster, offset=self.n_partitions)
         executor = JoinExecutor(self, other, self.adapter, cluster, self.config)
         return executor.execute(tau, use_orientation, use_division, stats)
 

@@ -70,13 +70,27 @@ def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
     # dataset by first-point gap is one vectorized pass and avoids the trap
     # of overlapping partition MBRs hiding the nearest sub-bucket
     budget = max(4 * k, 32)
-    pool: List[Trajectory] = [t for part in engine.partitions.values() for t in part]
+    owner: dict = {}
+    pool: List[Trajectory] = []
+    for pid in sorted(engine.partitions):
+        for t in engine.partitions[pid]:
+            owner[t.traj_id] = pid
+            pool.append(t)
     if len(pool) < k:
         return math.inf, 0.0
     firsts = np.asarray([t.first for t in pool])
     gaps = np.sqrt(np.sum((firsts - np.asarray(query.first)[None, :]) ** 2, axis=1))
     order = np.argsort(gaps, kind="stable")[:budget]
-    seeds = _exact_top_k(engine, query, k, [pool[int(i)] for i in order])
+    chosen = [pool[int(i)] for i in order]
+    # the exact-distance seeding runs on the partitions that own the seeds:
+    # one simulated (fault-tolerant) task per involved partition, charged
+    # for its share of the budget
+    per_pid: dict = {}
+    for t in chosen:
+        per_pid[owner[t.traj_id]] = per_pid.get(owner[t.traj_id], 0) + 1
+    for pid in sorted(per_pid):
+        engine.cluster.run_local(pid, lambda: None, work=per_pid[pid])
+    seeds = _exact_top_k(engine, query, k, chosen)
     if len(seeds) < k:
         return math.inf, 0.0
     return seeds[-1][1], seeds[0][1]

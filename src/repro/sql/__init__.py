@@ -7,6 +7,7 @@ from .lexer import tokenize
 from .parser import parse
 from .session import DITASession
 from .tokens import SQLError
+from .unparse import unparse, unparse_expr
 
 __all__ = [
     "Catalog",
@@ -18,4 +19,6 @@ __all__ = [
     "TrajectoryFrame",
     "parse",
     "tokenize",
+    "unparse",
+    "unparse_expr",
 ]

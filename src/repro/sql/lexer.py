@@ -61,10 +61,17 @@ def tokenize(text: str) -> List[Token]:
                     seen_dot = True
                     j += 1
                 elif ch in "eE" and not seen_exp and j > i:
-                    seen_exp = True
-                    j += 1
-                    if j < n and text[j] in "+-":
-                        j += 1
+                    # only a real exponent ("e", optional sign, >= 1 digit)
+                    # extends the number — otherwise "9e-" would lex as one
+                    # NUMBER token that float() later rejects
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        seen_exp = True
+                        j = k
+                    else:
+                        break
                 else:
                     break
             tokens.append(Token(TokenType.NUMBER, text[i:j], start))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..cluster.faults import TaskAbandonedError
 from ..core.engine import DITAEngine
 from ..distances.base import get_distance
 from ..trajectory.trajectory import Trajectory, TrajectoryDataset
@@ -137,6 +138,16 @@ class PhysicalOperator:
         raise NotImplementedError
 
 
+def _distributed(call):
+    """Run one engine-backed call, translating a distributed task that
+    exhausted its retries (fault injection) into a typed SQL error instead
+    of leaking the cluster exception through the SQL surface."""
+    try:
+        return call()
+    except TaskAbandonedError as exc:
+        raise SQLError(f"distributed execution failed: {exc}") from exc
+
+
 class FullScan(PhysicalOperator):
     """Unindexed scan of a table."""
 
@@ -163,9 +174,12 @@ class IndexSearch(PhysicalOperator):
 
     def execute(self, params: Dict[str, object]) -> List[Row]:
         b = self.binding
+        matches = _distributed(
+            lambda: self.engine.search_batch([self.query], [self.tau])[0]
+        )
         return [
             {f"{b}.traj_id": t.traj_id, f"{b}.trajectory": t, "distance": d}
-            for t, d in self.engine.search_batch([self.query], [self.tau])[0]
+            for t, d in matches
         ]
 
 
@@ -182,9 +196,10 @@ class KnnScan(PhysicalOperator):
         from ..core.knn import knn_search
 
         b = self.binding
+        neighbours = _distributed(lambda: knn_search(self.engine, self.query, self.k))
         return [
             {f"{b}.traj_id": t.traj_id, f"{b}.trajectory": t, "distance": d}
-            for t, d in knn_search(self.engine, self.query, self.k)
+            for t, d in neighbours
         ]
 
 
@@ -210,7 +225,8 @@ class IndexJoin(PhysicalOperator):
         left_ds = {t.traj_id: t for p in self.left_engine.partitions.values() for t in p}
         right_ds = {t.traj_id: t for p in self.right_engine.partitions.values() for t in p}
         rows: List[Row] = []
-        for a, b, d in self.left_engine.join(self.right_engine, self.tau):
+        pairs = _distributed(lambda: self.left_engine.join(self.right_engine, self.tau))
+        for a, b, d in pairs:
             rows.append(
                 {
                     f"{lb}.traj_id": a,

@@ -1,0 +1,119 @@
+"""Differential adapter parity: every distance adapter must produce the
+same candidates *and* the same :class:`FilterStats` through all three
+filter paths —
+
+* ``filter_candidates_reference`` — the recursive scalar ``visit`` walk
+  (the oracle);
+* ``filter_candidates`` — the public scalar entry point (routed through
+  the columnar frontier when the adapter supports ``visit_batch``);
+* ``filter_candidates_batch`` — the multi-query frontier sweep.
+
+Randomized tries (several datasets × index shapes) keep the comparison
+honest across node splits, short-trajectory leaves and mixed-length data.
+"""
+
+import pytest
+
+from repro.core.adapters import (
+    EDRAdapter,
+    ERPAdapter,
+    LCSSAdapter,
+    batch_visit_supported,
+    get_adapter,
+)
+from repro.core.config import DITAConfig
+from repro.core.trie import FilterStats, TrieIndex
+from repro.datagen import citywide_dataset, random_walk_dataset, sample_queries
+
+# (name, adapter factory, [taus]) — EDR/LCSS thresholds are edit counts
+ADAPTERS = [
+    ("dtw", lambda: get_adapter("dtw"), [0.002, 0.01]),
+    ("frechet", lambda: get_adapter("frechet"), [0.002, 0.008]),
+    ("hausdorff", lambda: get_adapter("hausdorff"), [0.001, 0.005]),
+    ("edr", lambda: EDRAdapter(epsilon=0.0005), [1, 3]),
+    ("lcss", lambda: LCSSAdapter(epsilon=0.0005, delta=3), [1, 3]),
+    ("erp", lambda: ERPAdapter(ndim=2), [0.005, 0.02]),
+]
+
+# (dataset factory, index shape) pairs: vary fanout, pivot count and leaf
+# capacity so splits, short leaves and deep tries are all exercised
+TRIES = [
+    (lambda: citywide_dataset(40, seed=71),
+     dict(trie_fanout=3, num_pivots=2, trie_leaf_capacity=3)),
+    (lambda: citywide_dataset(50, seed=13),
+     dict(trie_fanout=4, num_pivots=3, trie_leaf_capacity=8)),
+    (lambda: random_walk_dataset(40, avg_len=12, seed=3),
+     dict(trie_fanout=2, num_pivots=4, trie_leaf_capacity=1)),
+]
+
+
+def _ids(cands):
+    return sorted(t.traj_id for t in cands)
+
+
+def _stats_tuple(s: FilterStats):
+    return (s.nodes_visited, s.nodes_pruned, s.candidates)
+
+
+@pytest.fixture(scope="module", params=range(len(TRIES)), ids=["city71", "city13", "walks3"])
+def trie_and_queries(request):
+    make_data, shape = TRIES[request.param]
+    data = make_data()
+    config = DITAConfig(use_frontier_filter=True, **shape)
+    trie = TrieIndex(list(data), config)
+    queries = [q.points for q in sample_queries(data, 3, seed=5, perturb=0.0002)]
+    return trie, queries
+
+
+class TestThreeWayParity:
+    @pytest.mark.parametrize("name,make_adapter,taus", ADAPTERS, ids=[a[0] for a in ADAPTERS])
+    def test_candidates_and_stats_identical(self, trie_and_queries, name, make_adapter, taus):
+        trie, queries = trie_and_queries
+        adapter = make_adapter()
+        for tau in taus:
+            # batched frontier sweep over all queries at once
+            batch_stats = [FilterStats() for _ in queries]
+            batched = trie.filter_candidates_batch(
+                queries, [tau] * len(queries), adapter, batch_stats
+            )
+            for i, q in enumerate(queries):
+                ref_stats, sc_stats = FilterStats(), FilterStats()
+                ref = trie.filter_candidates_reference(q, tau, adapter, ref_stats)
+                scalar = trie.filter_candidates(q, tau, adapter, sc_stats)
+                assert _ids(scalar) == _ids(ref), (name, tau, i)
+                assert _ids(batched[i]) == _ids(ref), (name, tau, i)
+                assert _stats_tuple(sc_stats) == _stats_tuple(ref_stats), (name, tau, i)
+                assert _stats_tuple(batch_stats[i]) == _stats_tuple(ref_stats), (name, tau, i)
+
+    @pytest.mark.parametrize("name,make_adapter,taus", ADAPTERS, ids=[a[0] for a in ADAPTERS])
+    def test_mixed_tau_batch_matches_per_query(self, trie_and_queries, name, make_adapter, taus):
+        """A batch mixing thresholds must answer each query exactly as a
+        solo call at that query's own threshold."""
+        trie, queries = trie_and_queries
+        adapter = make_adapter()
+        mixed = [taus[i % len(taus)] for i in range(len(queries))]
+        batched = trie.filter_candidates_batch(queries, mixed, adapter, None)
+        for i, q in enumerate(queries):
+            assert _ids(batched[i]) == _ids(
+                trie.filter_candidates_reference(q, mixed[i], adapter, None)
+            ), (name, i)
+
+    @pytest.mark.parametrize("name,make_adapter,taus", ADAPTERS, ids=[a[0] for a in ADAPTERS])
+    def test_candidates_are_a_superset_of_answers(self, trie_and_queries, name, make_adapter, taus):
+        """The filter contract behind the parity: candidates always cover
+        the true answer set for the adapter's distance."""
+        trie, queries = trie_and_queries
+        adapter = make_adapter()
+        dist = adapter.distance()
+        members = [t for t in trie.verification]
+        tau = taus[-1]
+        for q in queries:
+            cands = set(_ids(trie.filter_candidates(q, tau, adapter, None)))
+            for t in trie.filter_candidates_reference(q, float("inf"), adapter, None):
+                if dist.compute(t.points, q) <= tau:
+                    assert t.traj_id in cands, (name, t.traj_id)
+        assert members  # the trie holds the data the queries run against
+
+    def test_frontier_supported_for_all_builtin_adapters(self):
+        for name, make_adapter, _ in ADAPTERS:
+            assert batch_visit_supported(make_adapter()), name

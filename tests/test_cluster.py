@@ -118,6 +118,58 @@ class TestCluster:
         assert Cluster(4, cores_per_worker=8).total_cores == 32
 
 
+class TestResetLeaks:
+    """Back-to-back experiments on one cluster must start from zero:
+    ``reset_clocks`` has to clear the per-core heap state, the network
+    counters and the report counters, or the second job's simulated times
+    silently include the first job's (the leak these tests pin down)."""
+
+    @staticmethod
+    def _job(c):
+        for pid in (0, 1, 2, 0, 1):
+            c.run_local(pid, lambda: None, work=1.5)
+        c.ship(0, 1, 500_000)
+        c.ship(1, 2, 250_000)
+        return c.report().to_dict()
+
+    def test_back_to_back_jobs_byte_identical(self):
+        import json
+
+        c = Cluster(n_workers=3, cores_per_worker=2)
+        c.place_partitions([0, 1, 2])
+        first = json.dumps(self._job(c), sort_keys=True)
+        c.reset_clocks()
+        second = json.dumps(self._job(c), sort_keys=True)
+        fresh = Cluster(n_workers=3, cores_per_worker=2)
+        fresh.place_partitions([0, 1, 2])
+        fresh_run = json.dumps(self._job(fresh), sort_keys=True)
+        assert second == first == fresh_run
+
+    def test_reset_clears_network_and_counters(self):
+        c = Cluster(n_workers=2)
+        c.place_partitions([0, 1])
+        c.run_local(0, lambda: None)
+        c.ship(0, 1, 1_000_000)
+        c.reset_clocks()
+        rep = c.report()
+        assert rep.makespan == 0.0
+        assert rep.total_network_s == 0.0
+        assert rep.total_network_bytes == 0
+        assert rep.total_compute_s == 0.0
+        assert rep.tasks == 0
+        assert all(w.network_s == 0.0 for w in c.workers)
+
+    def test_reset_clears_core_heap_state(self):
+        # an unbalanced first job must not skew the second job's packing
+        c = Cluster(n_workers=1, cores_per_worker=2)
+        c.place_partitions([0])
+        c.charge_compute(0, 10.0)
+        c.reset_clocks()
+        c.charge_compute(0, 1.0)
+        c.charge_compute(0, 2.0)
+        assert c.workers[0].core_clocks == [1.0, 2.0]
+
+
 class TestExecutionReport:
     def test_makespan_and_ratio(self):
         r = ExecutionReport(worker_times={0: 2.0, 1: 4.0})
