@@ -21,6 +21,7 @@ from .cluster.faults import FaultPlan, FaultReport, RecoveryPolicy, TaskAbandone
 from .core.config import DITAConfig
 from .core.engine import DITAEngine
 from .distances import available_distances, get_distance
+from .obs import MetricsRegistry, Tracer
 from .trajectory import Trajectory, TrajectoryDataset
 
 __version__ = "1.0.0"
@@ -30,8 +31,10 @@ __all__ = [
     "DITAEngine",
     "FaultPlan",
     "FaultReport",
+    "MetricsRegistry",
     "RecoveryPolicy",
     "TaskAbandonedError",
+    "Tracer",
     "Trajectory",
     "TrajectoryDataset",
     "available_distances",

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli join trips.jsonl --tau 0.002
     python -m repro.cli knn trips.jsonl --query-id 7 --k 5
     python -m repro.cli cluster trips.jsonl --tau 0.003 --min-pts 3
+    python -m repro.cli trace trips.jsonl --mode join --tau 0.002 --chrome trace.json
     python -m repro.cli lint src/
 
 Datasets are JSON-lines files (see :mod:`repro.trajectory.io`).
@@ -114,6 +115,51 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import format_breakdown
+
+    dataset = load_jsonl(args.dataset)
+    config = DITAConfig(
+        num_global_partitions=args.partitions,
+        trie_fanout=args.fanout,
+        num_pivots=args.pivots,
+        use_tracing=True,
+    )
+    engine = DITAEngine(dataset, config, distance=args.distance)
+    if args.mode == "search":
+        if args.query_id is None:
+            print("error: --query-id is required for --mode search", file=sys.stderr)
+            return 1
+        query = dataset.by_id(args.query_id)
+        matches = engine.search(query, args.tau)
+        title = f"search query=#{args.query_id} tau={args.tau}: {len(matches)} matches"
+    elif args.mode == "join":
+        pairs = engine.self_join(args.tau)
+        title = f"self-join tau={args.tau}: {len(pairs)} pairs"
+    else:
+        if args.query_id is None:
+            print("error: --query-id is required for --mode knn", file=sys.stderr)
+            return 1
+        query = dataset.by_id(args.query_id)
+        neighbours = knn_search(engine, query, args.k)
+        title = f"knn query=#{args.query_id} k={args.k}: {len(neighbours)} neighbours"
+    tracer = engine.cluster.tracer
+    print(
+        format_breakdown(
+            tracer.spans, engine.cluster.report(), registry=engine.metrics, title=title
+        )
+    )
+    if args.out:
+        Path(args.out).write_text(tracer.export_json())
+        print(f"wrote trace to {args.out}")
+    if args.chrome:
+        Path(args.chrome).write_text(tracer.export_chrome())
+        print(f"wrote chrome://tracing file to {args.chrome}")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.lint.cli import run_lint
 
@@ -164,6 +210,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=10)
     _add_engine_args(p)
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser("trace", help="run one traced job and print the per-stage breakdown")
+    p.add_argument("dataset")
+    p.add_argument("--mode", choices=["search", "join", "knn"], default="search")
+    p.add_argument("--query-id", type=int, help="query id (search/knn modes)")
+    p.add_argument("--tau", type=float, default=0.005)
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--out", help="write the span trace as JSON")
+    p.add_argument("--chrome", help="write a chrome://tracing events file")
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("lint", help="run the ditalint static-analysis suite")
     from .devtools.lint.cli import add_lint_arguments

@@ -236,6 +236,12 @@ class FaultReport:
         out["overhead_s"] = repr(self.overhead_s)
         return out
 
+    def to_registry(self, registry, prefix: str = "faults") -> None:
+        """Fold the fault accounting into a metrics registry: one counter
+        per field plus the derived ``overhead_s`` gauge."""
+        registry.absorb(prefix, self)
+        registry.gauge(f"{prefix}.overhead_s", self.overhead_s)
+
     def copy(self) -> "FaultReport":
         return replace(self)
 

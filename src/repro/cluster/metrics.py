@@ -57,6 +57,22 @@ class ExecutionReport:
             else:
                 self.faults.merge(other.faults)
 
+    def to_registry(self, registry, prefix: str = "cluster") -> None:
+        """Fold this report into a :class:`~repro.obs.MetricsRegistry`:
+        totals become counters, the derived makespan/load metrics gauges,
+        per-worker busy times a histogram, fault counters nested under
+        ``{prefix}.faults``."""
+        registry.counter(f"{prefix}.total_compute_s", self.total_compute_s)
+        registry.counter(f"{prefix}.total_network_s", self.total_network_s)
+        registry.counter(f"{prefix}.total_network_bytes", self.total_network_bytes)
+        registry.counter(f"{prefix}.tasks", self.tasks)
+        registry.gauge(f"{prefix}.makespan_s", self.makespan)
+        registry.gauge(f"{prefix}.load_ratio", self.load_ratio)
+        for wid in sorted(self.worker_times):
+            registry.observe(f"{prefix}.worker_busy_s", self.worker_times[wid])
+        if self.faults is not None:
+            self.faults.to_registry(registry, prefix=f"{prefix}.faults")
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable snapshot with floats repr'd, so two identical
         runs serialize to byte-identical JSON (the determinism contract)."""

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from .clock import TaskMeasure, unit_cost_measure
 from .faults import (
@@ -54,6 +54,9 @@ from .faults import (
 )
 from .metrics import ExecutionReport
 from .network import NetworkModel
+
+if TYPE_CHECKING:  # deferred so untraced clusters never import repro.obs
+    from ..obs.trace import Tracer
 
 
 @dataclass
@@ -85,15 +88,23 @@ class Worker:
         ]
         heapq.heapify(self._heap)
 
-    def charge_compute(self, seconds: float) -> None:
-        """Greedy LPT packing: the task goes to the least busy core."""
+    def charge_compute(self, seconds: float) -> Tuple[int, float, float]:
+        """Greedy LPT packing: the task goes to the least busy core.
+
+        Returns ``(core, start, end)`` on that core's simulated clock (the
+        tracer's span interval; other callers ignore it)."""
         clock, i = heapq.heappop(self._heap)
+        start = clock
         clock += seconds
         self.core_clocks[i] = clock
         heapq.heappush(self._heap, (clock, i))
+        return i, start, clock
 
-    def charge_network(self, seconds: float) -> None:
+    def charge_network(self, seconds: float) -> Tuple[float, float]:
+        """Charge the network lane; returns its ``(start, end)`` interval."""
+        start = self.network_s
         self.network_s += seconds
+        return start, self.network_s
 
     @property
     def busy_time(self) -> float:
@@ -152,8 +163,53 @@ class Cluster:
         #: lineage rebuild closures: partition id -> (fn, work units)
         self._rebuilds: Dict[int, Tuple[Callable[[], Any], float]] = {}
         self._faults: Optional[FaultSession] = None
+        #: span tracer (None on an untraced cluster — the near-zero-cost
+        #: gate every recording site checks first)
+        self.tracer: "Optional[Tracer]" = None
         if faults is not None:
             self.install_faults(faults, recovery)
+
+    # ------------------------------------------------------------------ #
+    # tracing
+    # ------------------------------------------------------------------ #
+
+    def install_tracer(self, tracer: "Optional[Tracer]" = None) -> "Tracer":
+        """Attach a span tracer; every subsequent charge records a span on
+        the owning worker's simulated clock.  ``reset_clocks`` clears it
+        with the clocks (spans are per-job, like the report)."""
+        if tracer is None:
+            from ..obs.trace import Tracer
+
+            tracer = Tracer()
+        self.tracer = tracer
+        return tracer
+
+    def _trace_compute(
+        self,
+        name: str,
+        cat: str,
+        worker_id: int,
+        interval: Tuple[int, float, float],
+        seconds: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        core, t0, t1 = interval
+        a = dict(args) if args else {}
+        a["core"] = core
+        self.tracer.record(name, cat, worker_id, t0, t1, seconds=seconds, args=a)
+
+    def _trace_network(
+        self,
+        name: str,
+        worker_id: int,
+        interval: Tuple[float, float],
+        seconds: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        t0, t1 = interval
+        self.tracer.record(
+            name, "net", worker_id, t0, t1, seconds=seconds, args=dict(args) if args else {}
+        )
 
     # ------------------------------------------------------------------ #
     # fault injection
@@ -265,8 +321,13 @@ class Cluster:
         if rebuild is not None:
             fn, work = rebuild
             _, cost = self.measure(fn, work)
-            self.workers[new_wid].charge_compute(cost)
+            interval = self.workers[new_wid].charge_compute(cost)
             session.report.rebuild_compute_s += cost
+            if self.tracer is not None:
+                self._trace_compute(
+                    "recover.rebuild", "fault", new_wid, interval, cost,
+                    {"partition": partition_id},
+                )
         return new_wid
 
     def _price_work(self, work: float) -> float:
@@ -296,6 +357,7 @@ class Cluster:
         work: float,
         partition_id: Optional[int] = None,
         worker_id: Optional[int] = None,
+        tag: Optional[str] = None,
     ) -> Any:
         """Fault-aware task execution: retry with exponential backoff on
         transient failures, recover crashed homes, speculate stragglers.
@@ -322,14 +384,24 @@ class Cluster:
             if session.plan.task_fails(seq, attempt):
                 session.report.task_failures += 1
                 wasted = session.plan.failure_progress(seq, attempt) * nominal * factor
-                w.charge_compute(wasted)
+                interval = w.charge_compute(wasted)
                 session.report.wasted_compute_s += wasted
+                if self.tracer is not None:
+                    self._trace_compute(
+                        "task.failed", "fault", wid, interval, wasted,
+                        {"seq": seq, "attempt": attempt},
+                    )
                 if attempt >= policy.max_retries:
                     session.report.abandoned_tasks += 1
                     raise TaskAbandonedError(f"task {seq}", attempt + 1)
                 backoff = policy.backoff_s(attempt)
-                w.charge_compute(backoff)
+                interval = w.charge_compute(backoff)
                 session.report.backoff_wait_s += backoff
+                if self.tracer is not None:
+                    self._trace_compute(
+                        "task.backoff", "fault", wid, interval, backoff,
+                        {"seq": seq, "attempt": attempt},
+                    )
                 session.report.task_retries += 1
                 attempt += 1
                 continue
@@ -344,48 +416,82 @@ class Cluster:
                     # attempt's duration
                     t_cost = elapsed * session.factor(target)
                     charged = min(slowed, t_cost)
-                    self.workers[target].charge_compute(charged)
+                    interval = self.workers[target].charge_compute(charged)
                     session.report.speculative_tasks += 1
                     session.report.speculative_compute_s += charged
                     if t_cost < slowed:
                         session.report.speculative_wins += 1
-            w.charge_compute(charged)
+                    if self.tracer is not None:
+                        self._trace_compute(
+                            "task.speculative", "fault", target, interval, charged,
+                            {"seq": seq, "home": wid},
+                        )
+            interval = w.charge_compute(charged)
             if charged > elapsed:
                 session.report.straggler_excess_s += charged - elapsed
             self._report.total_compute_s += elapsed
             self._report.tasks += 1
+            if self.tracer is not None:
+                args: Dict[str, Any] = {"seq": seq, "work": work}
+                if partition_id is not None:
+                    args["partition"] = partition_id
+                self._trace_compute(tag or "task", "task", wid, interval, charged, args)
             return result
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
 
-    def run_local(self, partition_id: int, fn: Callable[[], Any], work: float = 1.0) -> Any:
+    def run_local(
+        self,
+        partition_id: int,
+        fn: Callable[[], Any],
+        work: float = 1.0,
+        tag: Optional[str] = None,
+    ) -> Any:
         """Execute ``fn`` on the partition's worker and charge its cost (as
-        priced by the cluster's measure hook) to that worker's clock."""
+        priced by the cluster's measure hook) to that worker's clock.
+        ``tag`` names the traced span (default ``"task"``)."""
         if self._faults is not None:
-            return self._run_task(fn, work, partition_id=partition_id)
+            return self._run_task(fn, work, partition_id=partition_id, tag=tag)
         wid = self.worker_of(partition_id)
         result, elapsed = self.measure(fn, work)
-        self.workers[wid].charge_compute(elapsed)
+        interval = self.workers[wid].charge_compute(elapsed)
         self._report.total_compute_s += elapsed
         self._report.tasks += 1
+        if self.tracer is not None:
+            self._trace_compute(
+                tag or "task", "task", wid, interval, elapsed,
+                {"partition": partition_id, "work": work},
+            )
         return result
 
-    def run_on_worker(self, worker_id: int, fn: Callable[[], Any], work: float = 1.0) -> Any:
+    def run_on_worker(
+        self,
+        worker_id: int,
+        fn: Callable[[], Any],
+        work: float = 1.0,
+        tag: Optional[str] = None,
+    ) -> Any:
         """Execute ``fn`` on a specific worker (used when load balancing
         routes a task away from its partition's home) and charge its cost."""
         if not 0 <= worker_id < self.n_workers:
             raise ValueError(f"no worker {worker_id}")
         if self._faults is not None:
-            return self._run_task(fn, work, worker_id=worker_id)
+            return self._run_task(fn, work, worker_id=worker_id, tag=tag)
         result, elapsed = self.measure(fn, work)
-        self.workers[worker_id].charge_compute(elapsed)
+        interval = self.workers[worker_id].charge_compute(elapsed)
         self._report.total_compute_s += elapsed
         self._report.tasks += 1
+        if self.tracer is not None:
+            self._trace_compute(
+                tag or "task", "task", worker_id, interval, elapsed, {"work": work}
+            )
         return result
 
-    def charge_compute(self, partition_id: int, seconds: float) -> None:
+    def charge_compute(
+        self, partition_id: int, seconds: float, tag: Optional[str] = None
+    ) -> None:
         """Charge pre-measured compute time to a partition's worker.
 
         Pre-measured charges bypass fault injection (they model already-
@@ -393,20 +499,29 @@ class Cluster:
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         wid = self.worker_of(partition_id)
-        self.workers[wid].charge_compute(seconds)
+        interval = self.workers[wid].charge_compute(seconds)
         self._report.total_compute_s += seconds
         self._report.tasks += 1
+        if self.tracer is not None:
+            self._trace_compute(
+                tag or "task", "task", wid, interval, seconds,
+                {"partition": partition_id},
+            )
 
-    def charge_compute_worker(self, worker_id: int, seconds: float) -> None:
+    def charge_compute_worker(
+        self, worker_id: int, seconds: float, tag: Optional[str] = None
+    ) -> None:
         """Charge pre-measured compute time to a specific worker (used when
         load balancing routes a task away from the partition's home)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
         if not 0 <= worker_id < self.n_workers:
             raise ValueError(f"no worker {worker_id}")
-        self.workers[worker_id].charge_compute(seconds)
+        interval = self.workers[worker_id].charge_compute(seconds)
         self._report.total_compute_s += seconds
         self._report.tasks += 1
+        if self.tracer is not None:
+            self._trace_compute(tag or "task", "task", worker_id, interval, seconds)
 
     def ship(self, src_partition: int, dst_partition: int, nbytes: int) -> float:
         """Account a data transfer between two partitions' workers.
@@ -425,10 +540,14 @@ class Cluster:
             if src_w == dst_w:
                 return 0.0
             t = self.network.transfer_time(nbytes)
-            self.workers[src_w].charge_network(t)
-            self.workers[dst_w].charge_network(t)
+            send_iv = self.workers[src_w].charge_network(t)
+            recv_iv = self.workers[dst_w].charge_network(t)
             self._report.total_network_s += t
             self._report.total_network_bytes += nbytes
+            if self.tracer is not None:
+                args = {"src": src_partition, "dst": dst_partition, "nbytes": nbytes}
+                self._trace_network("ship.send", src_w, send_iv, t, args)
+                self._trace_network("ship.recv", dst_w, recv_iv, t, args)
             return t
         src_w = self.worker_of(src_partition)
         if not self._worker_alive(src_w):
@@ -445,21 +564,34 @@ class Cluster:
         while session.plan.ship_dropped(seq, attempt):
             session.report.message_drops += 1
             wasted = t + self.network.drop_detect_s
-            self.workers[src_w].charge_network(wasted)
-            self.workers[dst_w].charge_network(t)
+            send_iv = self.workers[src_w].charge_network(wasted)
+            recv_iv = self.workers[dst_w].charge_network(t)
             session.report.resend_network_s += wasted + t
+            if self.tracer is not None:
+                args = {"seq": seq, "attempt": attempt, "nbytes": nbytes}
+                self._trace_network("ship.dropped.send", src_w, send_iv, wasted, args)
+                self._trace_network("ship.dropped.recv", dst_w, recv_iv, t, args)
             if attempt >= policy.max_retries:
                 session.report.abandoned_tasks += 1
                 raise TaskAbandonedError(f"message {seq}", attempt + 1)
             backoff = policy.backoff_s(attempt)
-            self.workers[src_w].charge_network(backoff)
+            backoff_iv = self.workers[src_w].charge_network(backoff)
             session.report.backoff_wait_s += backoff
+            if self.tracer is not None:
+                self._trace_network(
+                    "ship.backoff", src_w, backoff_iv, backoff,
+                    {"seq": seq, "attempt": attempt},
+                )
             session.report.message_resends += 1
             attempt += 1
-        self.workers[src_w].charge_network(t)
-        self.workers[dst_w].charge_network(t)
+        send_iv = self.workers[src_w].charge_network(t)
+        recv_iv = self.workers[dst_w].charge_network(t)
         self._report.total_network_s += t
         self._report.total_network_bytes += nbytes
+        if self.tracer is not None:
+            args = {"src": src_partition, "dst": dst_partition, "nbytes": nbytes}
+            self._trace_network("ship.send", src_w, send_iv, t, args)
+            self._trace_network("ship.recv", dst_w, recv_iv, t, args)
         return t
 
     # ------------------------------------------------------------------ #
@@ -488,4 +620,6 @@ class Cluster:
         self._report = ExecutionReport()
         if self._faults is not None:
             self._faults.reset()
+        if self.tracer is not None:
+            self.tracer.clear()
         self._placement = dict(self._baseline_placement)

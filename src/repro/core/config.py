@@ -47,6 +47,11 @@ class DITAConfig:
     #: (:mod:`repro.kernels.frontier`); False forces the recursive
     #: reference walk.  Results are identical either way.
     use_frontier_filter: bool = True
+    #: install the observability layer (:mod:`repro.obs`): a span tracer on
+    #: the engine's cluster plus a metrics registry on the engine.  Results
+    #: are identical either way; off (the default) costs one attribute
+    #: check per task.
+    use_tracing: bool = False
     #: install a config-derived :class:`~repro.cluster.faults.FaultPlan`
     #: on the engine's cluster (results are identical either way — only
     #: simulated costs and the FaultReport change).

@@ -19,10 +19,12 @@ Typical use::
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..cluster.clock import Stopwatch, wall_clock
 from ..cluster.simulator import Cluster
+from ..obs import MetricsRegistry
 from ..geometry.mbr import MBR
 from ..trajectory.trajectory import Trajectory
 from .adapters import IndexAdapter, get_adapter
@@ -105,6 +107,64 @@ class DITAEngine:
             for pid, trie in self.tries.items()
         }
         self._register_rebuilds(cluster)
+        #: the observability layer (None until tracing is enabled)
+        self.metrics: Optional[MetricsRegistry] = None
+        if self.config.use_tracing:
+            self.enable_tracing()
+
+    # ------------------------------------------------------------------ #
+    # observability (repro.obs)
+    # ------------------------------------------------------------------ #
+
+    def enable_tracing(self) -> None:
+        """Install the observability layer: a span tracer on the cluster
+        and a metrics registry on the engine.  Idempotent; results are
+        identical with or without it (only instrumentation changes)."""
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        if self.cluster.tracer is None:
+            self.cluster.install_tracer()
+
+    @property
+    def tracer(self):
+        """The cluster's span tracer (None when tracing is off)."""
+        return self.cluster.tracer
+
+    def _job(self, name: str, **args: object):
+        tracer = self.cluster.tracer
+        if tracer is None:
+            return nullcontext()
+        return tracer.job(name, **args)
+
+    def _subdivide_task(self, tracer, ts: SearchStats) -> None:
+        """Split the just-recorded task span into filter/verify stage spans
+        weighted by the task's trie-node visits and verifier pair count."""
+        span = tracer.last_span()
+        if span is None or span.cat != "task":
+            return
+        tracer.subdivide(
+            span,
+            [
+                (
+                    "filter",
+                    float(ts.filter.nodes_visited),
+                    {
+                        "nodes_visited": ts.filter.nodes_visited,
+                        "nodes_pruned": ts.filter.nodes_pruned,
+                        "candidates": ts.filter.candidates,
+                    },
+                ),
+                (
+                    "verify",
+                    float(ts.verify.pairs),
+                    {
+                        "pairs": ts.verify.pairs,
+                        "exact_computed": ts.verify.exact_computed,
+                        "accepted": ts.verify.accepted,
+                    },
+                ),
+            ],
+        )
 
     # ------------------------------------------------------------------ #
     # fault tolerance (lineage)
@@ -223,21 +283,42 @@ class DITAEngine:
         """
         if tau < 0:
             raise ValueError("tau must be non-negative")
-        relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
-        if stats is not None:
-            stats.relevant_partitions += len(relevant)
-        q_data = VerificationData.of(query, self.config.cell_size)
-        matches: List[Match] = []
-        for pid in relevant:
-            if pid not in self._searchers:
-                continue
-            searcher = self._searchers[pid]
-            local = self.cluster.run_local(
-                pid,
-                lambda s=searcher: s.search(query, tau, query_data=q_data, stats=stats),
-                work=len(self.partitions[pid]),
-            )
-            matches.extend(local)
+        tracer = self.cluster.tracer
+        track = stats is not None or tracer is not None or self.metrics is not None
+        job_stats = SearchStats() if track else None
+        with self._job("search", tau=tau):
+            relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
+            if job_stats is not None:
+                job_stats.relevant_partitions += len(relevant)
+            q_data = VerificationData.of(query, self.config.cell_size)
+            matches: List[Match] = []
+            for pid in relevant:
+                if pid not in self._searchers:
+                    continue
+                searcher = self._searchers[pid]
+                # a fresh stats object per task: partitions must not share
+                # one accumulator (the batch filter *assigns* its candidate
+                # count), and the tracer needs per-task stage weights
+                task_stats = SearchStats() if track else None
+                local = self.cluster.run_local(
+                    pid,
+                    lambda s=searcher, ts=task_stats: s.search(
+                        query, tau, query_data=q_data, stats=ts
+                    ),
+                    work=len(self.partitions[pid]),
+                    tag="search.partition",
+                )
+                if task_stats is not None:
+                    if tracer is not None:
+                        self._subdivide_task(tracer, task_stats)
+                    job_stats.merge(task_stats)
+                matches.extend(local)
+        if job_stats is not None:
+            if stats is not None:
+                stats.merge(job_stats)
+            if self.metrics is not None:
+                self.metrics.counter("search.jobs")
+                self.metrics.absorb("search", job_stats)
         return matches
 
     def search_batch(
@@ -260,32 +341,57 @@ class DITAEngine:
         for tau in taus:
             if tau < 0:
                 raise ValueError("tau must be non-negative")
-        by_pid: Dict[int, List[int]] = {}
-        q_datas: List[VerificationData] = []
-        for i, (query, tau) in enumerate(zip(queries, taus)):
-            relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
-            if stats is not None and stats[i] is not None:
-                stats[i].relevant_partitions += len(relevant)
-            q_datas.append(VerificationData.of(query, self.config.cell_size))
-            for pid in relevant:
-                if pid in self._searchers:
-                    by_pid.setdefault(pid, []).append(i)
-        results: List[List[Match]] = [[] for _ in queries]
-        for pid in sorted(by_pid):
-            idxs = by_pid[pid]
-            searcher = self._searchers[pid]
-            local = self.cluster.run_local(
-                pid,
-                lambda s=searcher, ix=idxs: s.search_batch(
-                    [queries[i] for i in ix],
-                    [taus[i] for i in ix],
-                    [q_datas[i] for i in ix],
-                    None if stats is None else [stats[i] for i in ix],
-                ),
-                work=len(self.partitions[pid]) * len(idxs),
-            )
-            for i, matches in zip(idxs, local):
-                results[i].extend(matches)
+        tracer = self.cluster.tracer
+        track = stats is not None or tracer is not None or self.metrics is not None
+        internal = [SearchStats() for _ in queries] if track else None
+        with self._job("search_batch", n_queries=len(queries)):
+            by_pid: Dict[int, List[int]] = {}
+            q_datas: List[VerificationData] = []
+            for i, (query, tau) in enumerate(zip(queries, taus)):
+                relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
+                if internal is not None:
+                    internal[i].relevant_partitions += len(relevant)
+                q_datas.append(VerificationData.of(query, self.config.cell_size))
+                for pid in relevant:
+                    if pid in self._searchers:
+                        by_pid.setdefault(pid, []).append(i)
+            results: List[List[Match]] = [[] for _ in queries]
+            for pid in sorted(by_pid):
+                idxs = by_pid[pid]
+                searcher = self._searchers[pid]
+                task_stats = [SearchStats() for _ in idxs] if track else None
+                local = self.cluster.run_local(
+                    pid,
+                    lambda s=searcher, ix=idxs, ts=task_stats: s.search_batch(
+                        [queries[i] for i in ix],
+                        [taus[i] for i in ix],
+                        [q_datas[i] for i in ix],
+                        ts,
+                    ),
+                    work=len(self.partitions[pid]) * len(idxs),
+                    tag="search.partition",
+                )
+                if task_stats is not None:
+                    if tracer is not None:
+                        merged = SearchStats()
+                        for ts in task_stats:
+                            merged.merge(ts)
+                        self._subdivide_task(tracer, merged)
+                    for i, ts in zip(idxs, task_stats):
+                        internal[i].merge(ts)
+                for i, matches in zip(idxs, local):
+                    results[i].extend(matches)
+        if internal is not None:
+            if stats is not None:
+                for i, s in enumerate(stats):
+                    if s is not None:
+                        s.merge(internal[i])
+            if self.metrics is not None:
+                self.metrics.counter("search.jobs")
+                job_stats = SearchStats()
+                for s in internal:
+                    job_stats.merge(s)
+                self.metrics.absorb("search", job_stats)
         return results
 
     def search_ids(self, query: Trajectory, tau: float) -> List[int]:
@@ -330,7 +436,15 @@ class DITAEngine:
         self._register_rebuilds(cluster)
         other._register_rebuilds(cluster, offset=self.n_partitions)
         executor = JoinExecutor(self, other, self.adapter, cluster, self.config)
-        return executor.execute(tau, use_orientation, use_division, stats)
+        js = stats
+        if js is None and self.metrics is not None:
+            js = JoinStats()
+        with self._job("join", tau=tau):
+            pairs = executor.execute(tau, use_orientation, use_division, js)
+        if self.metrics is not None and js is not None:
+            self.metrics.counter("join.jobs")
+            self.metrics.absorb("join", js)
+        return pairs
 
     def self_join(self, tau: float, **kwargs) -> List[JoinPair]:
         """Join of the dataset with itself, keeping each unordered pair once

@@ -29,14 +29,32 @@ JoinPair = Tuple[int, int, float]
 
 @dataclass
 class JoinStats:
-    """Planner and executor instrumentation for one join run."""
+    """Planner and executor instrumentation for one join run.
+
+    ``verified_pairs`` counts verifier invocations (candidate pairs the
+    staged verifier examined, from :class:`~repro.core.verify.VerifyStats`);
+    ``result_pairs`` counts output pairs after deduplication.  All counts
+    are accumulated unconditionally by the executor, so they are identical
+    whether or not the caller asked for stats.
+    """
 
     partition_pairs: int = 0
     trajectories_shipped: int = 0
     bytes_shipped: int = 0
     candidate_pairs: int = 0
     verified_pairs: int = 0
+    result_pairs: int = 0
     plan: Optional[OrientationPlan] = None
+
+    def merge_counts(self, other: "JoinStats") -> None:
+        """Accumulate ``other``'s counters (the plan is last-write-wins)."""
+        self.partition_pairs += other.partition_pairs
+        self.trajectories_shipped += other.trajectories_shipped
+        self.bytes_shipped += other.bytes_shipped
+        self.candidate_pairs += other.candidate_pairs
+        self.verified_pairs += other.verified_pairs
+        self.result_pairs += other.result_pairs
+        self.plan = other.plan
 
 
 def _relevant(
@@ -179,10 +197,13 @@ class JoinExecutor:
         division balancing, a replicated partition's incoming tasks rotate
         across its replica workers.
         """
+        tracer = self.cluster.tracer
+        # accumulate unconditionally: the executor's counts must not depend
+        # on whether the caller passed a stats object
+        js = JoinStats()
         plan = self.plan(tau, use_orientation, use_division)
-        if stats is not None:
-            stats.plan = plan
-            stats.partition_pairs = len(plan.edges)
+        js.plan = plan
+        js.partition_pairs = len(plan.edges)
         results: List[JoinPair] = []
         replica_rr: Dict[Node, int] = {}
         sender_data: Dict[tuple, VerificationData] = {}
@@ -218,9 +239,8 @@ class JoinExecutor:
             # split into n_replicas pieces executed on distinct workers
             n_replicas = max(1, plan.replica_count(recv_node))
             self.cluster.ship(src_pid, dst_pid, nbytes)
-            if stats is not None:
-                stats.trajectories_shipped += len(shipped)
-                stats.bytes_shipped += nbytes
+            js.trajectories_shipped += len(shipped)
+            js.bytes_shipped += nbytes
             searcher = LocalSearcher(
                 recv_engine.tries[recv_meta.partition_id],
                 self.adapter,
@@ -232,19 +252,22 @@ class JoinExecutor:
                 if not chunk:
                     continue
                 exec_worker = (home_worker + slot) % self.cluster.n_workers
+                chunk_stats: List[Optional[SearchStats]] = [
+                    SearchStats() for _ in chunk
+                ]
 
-                def run_chunk(chunk=chunk, searcher=searcher, flip=flip, direction=edge.direction):
+                def run_chunk(
+                    chunk=chunk,
+                    searcher=searcher,
+                    flip=flip,
+                    direction=edge.direction,
+                    cstats=chunk_stats,
+                ):
                     # the whole chunk rides one frontier sweep over the
                     # receiver's columnar trie, then verifies per query
                     datas = [sender_data[(direction == "qt", t.traj_id)] for t in chunk]
                     taus = [tau] * len(chunk)
-                    if stats is not None:
-                        sstats: List[Optional[SearchStats]] = [SearchStats() for _ in chunk]
-                        match_lists = searcher.search_batch(chunk, taus, datas, sstats)
-                        for s in sstats:
-                            stats.candidate_pairs += s.candidates
-                    else:
-                        match_lists = searcher.search_batch(chunk, taus, datas)
+                    match_lists = searcher.search_batch(chunk, taus, datas, cstats)
                     for t, matches in zip(chunk, match_lists):
                         for other, dist in matches:
                             if flip:
@@ -252,7 +275,16 @@ class JoinExecutor:
                             else:
                                 results.append((t.traj_id, other.traj_id, dist))
 
-                self.cluster.run_on_worker(exec_worker, run_chunk, work=len(chunk))
+                self.cluster.run_on_worker(
+                    exec_worker, run_chunk, work=len(chunk), tag="join.chunk"
+                )
+                merged = SearchStats()
+                for s in chunk_stats:
+                    merged.merge(s)
+                js.candidate_pairs += merged.filter.candidates
+                js.verified_pairs += merged.verify.pairs
+                if tracer is not None:
+                    self.left._subdivide_task(tracer, merged)
         # one (T, Q) pair may be found via several partition-pair edges is
         # impossible: partitions tile the data, so each (T, Q) pair meets on
         # exactly one edge — but a pair appears twice when both directions
@@ -265,8 +297,9 @@ class JoinExecutor:
             if key not in seen:
                 seen.add(key)
                 deduped.append(p)
+        js.result_pairs = len(deduped)
         if stats is not None:
-            stats.verified_pairs = len(deduped)
+            stats.merge_counts(js)
         return deduped
 
     def _cluster_pid(self, node: Node) -> int:

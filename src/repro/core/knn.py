@@ -25,6 +25,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..trajectory.trajectory import Trajectory
+from .numerics import slack
 
 #: one result: (trajectory, distance)
 Neighbour = Tuple[Trajectory, float]
@@ -38,6 +39,15 @@ def _exact_top_k(engine, query: Trajectory, k: int, pool: Sequence[Trajectory]) 
     early-abandoning sweep rejects non-contenders after touching only a
     fraction of the DP matrix — same answers as computing every distance in
     full, identical tie-breaking.
+
+    Boundary semantics: the threshold kernels are *closed* at ``tau``
+    (``value if value <= tau else inf``), but their float assembly differs
+    from the full-distance kernels' at the ULP level, so a trajectory whose
+    true distance exactly equals the current k-th distance could come back
+    as ``inf`` and lose a ``(d, id)`` tie it should win.  The sweep
+    therefore runs at ``slack(kth)`` and every admitted candidate's
+    distance is re-derived with the canonical full kernel before the
+    tie-break — the answer is bit-for-bit the brute-force top-k.
     """
     dist = engine.adapter.distance()
     exact = engine.adapter.exact
@@ -48,8 +58,11 @@ def _exact_top_k(engine, query: Trajectory, k: int, pool: Sequence[Trajectory]) 
             heapq.heappush(heap, (-d, -t.traj_id, t))
             continue
         neg_d, neg_id, _ = heap[0]
-        d = exact(t.points, query.points, -neg_d)
-        if math.isfinite(d) and (d, t.traj_id) < (-neg_d, -neg_id):
+        d = exact(t.points, query.points, slack(-neg_d))
+        if not math.isfinite(d):
+            continue
+        d = dist.compute(t.points, query.points)
+        if (d, t.traj_id) < (-neg_d, -neg_id):
             heapq.heapreplace(heap, (-d, -t.traj_id, t))
     out = [(t, -neg_d) for neg_d, _, t in heap]
     out.sort(key=lambda m: (m[1], m[0].traj_id))
@@ -83,17 +96,27 @@ def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
     order = np.argsort(gaps, kind="stable")[:budget]
     chosen = [pool[int(i)] for i in order]
     # the exact-distance seeding runs on the partitions that own the seeds:
-    # one simulated (fault-tolerant) task per involved partition, charged
-    # for its share of the budget
+    # one simulated (fault-tolerant) task per involved partition, with the
+    # distance computation inside the task body so *any* measure hook —
+    # unit-cost or wall-clock — prices the real work
     per_pid: dict = {}
     for t in chosen:
-        per_pid[owner[t.traj_id]] = per_pid.get(owner[t.traj_id], 0) + 1
+        per_pid.setdefault(owner[t.traj_id], []).append(t)
+    dist = engine.adapter.distance()
+    seed_dists: List[Tuple[float, int]] = []
     for pid in sorted(per_pid):
-        engine.cluster.run_local(pid, lambda: None, work=per_pid[pid])
-    seeds = _exact_top_k(engine, query, k, chosen)
-    if len(seeds) < k:
+        members = per_pid[pid]
+
+        def body(ms=tuple(members)):
+            return [(dist.compute(t.points, query.points), t.traj_id) for t in ms]
+
+        seed_dists.extend(
+            engine.cluster.run_local(pid, body, work=len(members), tag="knn.seed")
+        )
+    if len(seed_dists) < k:
         return math.inf, 0.0
-    return seeds[-1][1], seeds[0][1]
+    seed_dists.sort()
+    return seed_dists[k - 1][0], seed_dists[0][0]
 
 
 def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
@@ -101,23 +124,39 @@ def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
     distance, sorted by (distance, id).  Exact."""
     if k <= 0:
         raise ValueError("k must be positive")
+    with engine._job("knn", k=k):
+        result, rounds, fallback = _knn_search_inner(engine, query, k)
+    if engine.metrics is not None:
+        engine.metrics.counter("knn.jobs")
+        engine.metrics.counter("knn.rounds", rounds)
+        if fallback:
+            engine.metrics.counter("knn.brute_force_fallbacks")
+    return result
+
+
+def _knn_search_inner(
+    engine, query: Trajectory, k: int
+) -> Tuple[List[Neighbour], int, bool]:
+    """The progressive-widening loop; returns (result, rounds, fallback)."""
     n_total = len(engine)
     k = min(k, n_total)
     tau_hi, tau_lo = _seed_tau(engine, query, k)
     if not math.isfinite(tau_hi):
         # degenerate fallback: tiny dataset; rank everything
         pool = [t for part in engine.partitions.values() for t in part]
-        return _exact_top_k(engine, query, k, pool)
+        return _exact_top_k(engine, query, k, pool), 0, True
     # progressive widening: start near the 1-NN scale (never more than a
     # few doublings below tau_hi) and double toward the guaranteed-
     # sufficient radius tau_hi (the k-th seed distance) — cheap early
     # rounds usually finish before the expensive wide search is needed
     tau = min(max(tau_lo, tau_hi / 256, 1e-12), tau_hi)
+    rounds = 0
     for _ in range(128):  # tau doubles each round; bounded by construction
+        rounds += 1
         matches = engine.search_batch([query], [tau])[0]
         if len(matches) >= k:
             matches.sort(key=lambda m: (m[1], m[0].traj_id))
-            return matches[:k]
+            return matches[:k], rounds, False
         if tau >= tau_hi:
             # the k seeds lie within tau_hi, so the search at tau_hi should
             # have returned >= k; float rounding at the boundary can in
@@ -129,7 +168,7 @@ def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
             break
         tau = min(tau * 2, tau_hi)
     pool = [t for part in engine.partitions.values() for t in part]
-    return _exact_top_k(engine, query, k, pool)
+    return _exact_top_k(engine, query, k, pool), rounds, True
 
 
 def knn_join(left_engine, right_engine, k: int) -> List[Tuple[int, int, float]]:

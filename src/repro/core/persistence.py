@@ -116,6 +116,9 @@ def load_engine(path: PathLike, cluster: Cluster | None = None) -> DITAEngine:
         cluster = Cluster(n_workers=min(16, max(1, len(engine.partitions))))
     engine.cluster = cluster
     cluster.place_partitions(sorted(engine.partitions))
+    engine.metrics = None
+    if config.use_tracing:
+        engine.enable_tracing()
     engine._searchers = {
         pid: LocalSearcher(trie, adapter, engine.verifier)
         for pid, trie in engine.tries.items()

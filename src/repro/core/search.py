@@ -32,9 +32,7 @@ class SearchStats:
 
     def merge(self, other: "SearchStats") -> None:
         self.relevant_partitions += other.relevant_partitions
-        self.filter.nodes_visited += other.filter.nodes_visited
-        self.filter.nodes_pruned += other.filter.nodes_pruned
-        self.filter.candidates += other.filter.candidates
+        self.filter.merge(other.filter)
         self.verify.merge(other.verify)
 
 

@@ -79,6 +79,11 @@ class FilterStats:
     nodes_pruned: int = 0
     candidates: int = 0
 
+    def merge(self, other: "FilterStats") -> None:
+        self.nodes_visited += other.nodes_visited
+        self.nodes_pruned += other.nodes_pruned
+        self.candidates += other.candidates
+
 
 class TrieIndex:
     """The local (per-partition) index of DITA.
@@ -231,7 +236,9 @@ class TrieIndex:
             if stats is not None and stats[i] is not None:
                 stats[i].nodes_visited += int(visited[i])
                 stats[i].nodes_pruned += int(pruned[i])
-                stats[i].candidates = len(members)
+                # accumulate, like every other counter: one stats object
+                # may observe several filtering passes
+                stats[i].candidates += len(members)
             out.append(members)
         return out
 
@@ -249,7 +256,7 @@ class TrieIndex:
         out: List[Trajectory] = []
         self._filter_reference(self.root, q, state, adapter, out, stats)
         if stats is not None:
-            stats.candidates = len(out)
+            stats.candidates += len(out)
         return out
 
     def _filter_reference(

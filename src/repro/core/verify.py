@@ -86,6 +86,11 @@ class VerifyStats:
         self.exact_computed += other.exact_computed
         self.accepted += other.accepted
 
+    def to_registry(self, registry, prefix: str = "verify") -> None:
+        """Fold these counts into a metrics registry (one counter per
+        field, named ``{prefix}.{field}``)."""
+        registry.absorb(prefix, self)
+
 
 class Verifier:
     """Configurable verification pipeline shared by search and join."""

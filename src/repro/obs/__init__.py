@@ -1,0 +1,24 @@
+"""repro.obs — deterministic observability: tracing, metrics, EXPLAIN.
+
+See docs/OBSERVABILITY.md for the span model, the registry naming scheme
+and the EXPLAIN ANALYZE walkthrough.
+"""
+
+from .explain import (
+    accounted_spans,
+    format_breakdown,
+    stage_rows,
+    worker_span_seconds,
+)
+from .registry import MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "accounted_spans",
+    "format_breakdown",
+    "stage_rows",
+    "worker_span_seconds",
+]

@@ -1,11 +1,11 @@
 """Extended SQL and DataFrame front end (the Spark SQL analogue)."""
 
-from .ast import CreateIndex, Select
+from .ast import CreateIndex, Explain, Select
 from .catalog import Catalog, Table
 from .dataframe import TrajectoryFrame
 from .lexer import tokenize
 from .parser import parse
-from .session import DITASession
+from .session import DITASession, ExplainAnalyzeResult
 from .tokens import SQLError
 from .unparse import unparse, unparse_expr
 
@@ -13,6 +13,8 @@ __all__ = [
     "Catalog",
     "CreateIndex",
     "DITASession",
+    "Explain",
+    "ExplainAnalyzeResult",
     "SQLError",
     "Select",
     "Table",

@@ -130,4 +130,13 @@ class CreateIndex:
     method: str = "trie"
 
 
-Statement = Union[Select, CreateIndex]
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN [ANALYZE] statement`` — plan text, or an instrumented
+    execution with a per-stage breakdown when ``analyze`` is set."""
+
+    statement: Union[Select, CreateIndex]
+    analyze: bool = False
+
+
+Statement = Union[Select, CreateIndex, Explain]

@@ -2,7 +2,7 @@
 
 Supported grammar (case-insensitive keywords)::
 
-    statement    := select | create_index
+    statement    := [EXPLAIN [ANALYZE]] (select | create_index)
     create_index := CREATE INDEX ident ON ident USE TRIE
     select       := SELECT items FROM table_ref
                     [TRA-JOIN table_ref ON predicate]
@@ -33,6 +33,7 @@ from .ast import (
     ColumnRef,
     Comparison,
     CreateIndex,
+    Explain,
     Expr,
     FunctionCall,
     Literal,
@@ -96,14 +97,22 @@ class Parser:
 
     def parse(self) -> Statement:
         tok = self._peek()
-        if tok.type is TokenType.CREATE:
-            stmt = self._create_index()
-        elif tok.type is TokenType.SELECT:
-            stmt = self._select()
+        if tok.type is TokenType.EXPLAIN:
+            self._next()
+            analyze = self._accept(TokenType.ANALYZE) is not None
+            stmt: Statement = Explain(self._statement(), analyze=analyze)
         else:
-            raise SQLError(f"expected SELECT or CREATE at position {tok.pos}")
+            stmt = self._statement()
         self._expect(TokenType.EOF, "end of statement")
         return stmt
+
+    def _statement(self):
+        tok = self._peek()
+        if tok.type is TokenType.CREATE:
+            return self._create_index()
+        if tok.type is TokenType.SELECT:
+            return self._select()
+        raise SQLError(f"expected SELECT or CREATE at position {tok.pos}")
 
     def _create_index(self) -> CreateIndex:
         self._expect(TokenType.CREATE)

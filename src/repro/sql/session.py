@@ -20,11 +20,14 @@ Example::
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..cluster.metrics import ExecutionReport
 from ..core.config import DITAConfig
+from ..obs import MetricsRegistry, Span, format_breakdown
 from ..trajectory.trajectory import TrajectoryDataset
-from .ast import CreateIndex, Expr, Select
+from .ast import CreateIndex, Explain, Expr, Select
 from .catalog import Catalog
 from .logical import (
     Filter,
@@ -61,6 +64,43 @@ from .physical import (
 from .tokens import SQLError
 
 
+def _collect_engines(op: PhysicalOperator) -> List[object]:
+    """Engines referenced by a physical plan, deduplicated, outermost
+    first (the first one drives the distributed execution)."""
+    found: List[object] = []
+
+    def walk(node: PhysicalOperator) -> None:
+        if isinstance(node, (IndexSearch, KnnScan)):
+            found.append(node.engine)
+        elif isinstance(node, IndexJoin):
+            found.append(node.left_engine)
+            found.append(node.right_engine)
+        child = getattr(node, "child", None)
+        if child is not None:
+            walk(child)
+
+    walk(op)
+    out: List[object] = []
+    for engine in found:
+        if not any(engine is seen for seen in out):
+            out.append(engine)
+    return out
+
+
+@dataclass
+class ExplainAnalyzeResult:
+    """Everything ``EXPLAIN ANALYZE`` produced for one statement: the
+    rendered report plus the structured pieces it was rendered from, so
+    callers (and tests) can reconcile the breakdown against the
+    :class:`~repro.cluster.metrics.ExecutionReport` of the same run."""
+
+    text: str
+    rows: List[Row]
+    spans: List[Span] = field(default_factory=list)
+    report: ExecutionReport = field(default_factory=ExecutionReport)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
 class DITASession:
     """SQL and DataFrame entry point."""
 
@@ -92,6 +132,14 @@ class DITASession:
         (empty for DDL)."""
         params = params or {}
         stmt = parse(text)
+        if isinstance(stmt, Explain):
+            if stmt.analyze:
+                result = self._explain_analyze(stmt.statement, params)
+            else:
+                result = ExplainAnalyzeResult(
+                    text=self._plan_text(stmt.statement, params), rows=[]
+                )
+            return [{"plan": line} for line in result.text.splitlines()]
         if isinstance(stmt, CreateIndex):
             self.catalog.create_index(stmt.table, stmt.index_name)
             return []
@@ -103,9 +151,63 @@ class DITASession:
         """The optimized logical plan as text."""
         params = params or {}
         stmt = parse(text)
+        if isinstance(stmt, Explain):
+            stmt = stmt.statement
+        return self._plan_text(stmt, params)
+
+    def explain_analyze(
+        self, text: str, params: Optional[Dict[str, object]] = None
+    ) -> ExplainAnalyzeResult:
+        """Execute one SELECT with tracing enabled and return the plan text,
+        per-stage breakdown, result rows, and the structured trace/report/
+        registry behind them.  ``text`` may carry an ``EXPLAIN [ANALYZE]``
+        prefix or be the bare statement."""
+        params = params or {}
+        stmt = parse(text)
+        if isinstance(stmt, Explain):
+            stmt = stmt.statement
+        return self._explain_analyze(stmt, params)
+
+    def _plan_text(self, stmt, params: Dict[str, object]) -> str:
         if isinstance(stmt, CreateIndex):
             return f"CreateIndex table={stmt.table} method={stmt.method}"
         return explain_plan(self.plan(stmt, params))
+
+    def _explain_analyze(self, stmt, params: Dict[str, object]) -> ExplainAnalyzeResult:
+        if not isinstance(stmt, Select):
+            raise SQLError("EXPLAIN ANALYZE supports SELECT statements only")
+        logical = self.plan(stmt, params)
+        physical = self.to_physical(logical, params)
+        engines = _collect_engines(physical)
+        for engine in engines:
+            engine.enable_tracing()
+            engine.metrics.clear()
+            engine.cluster.reset_clocks()  # also clears the tracer
+        rows = physical.execute(params)
+        registry = MetricsRegistry()
+        for engine in engines:
+            registry.merge(engine.metrics)
+        if engines:
+            # the first indexed operator's engine drives the distributed
+            # execution (a join runs on its left engine's cluster)
+            primary = engines[0]
+            report = primary.cluster.report()
+            spans = list(primary.cluster.tracer.spans)
+            report.to_registry(registry)
+        else:
+            report = ExecutionReport()
+            spans = []
+        text = "\n".join(
+            [
+                explain_plan(logical),
+                "",
+                format_breakdown(spans, report, registry=registry),
+                f"rows: {len(rows)}",
+            ]
+        )
+        return ExplainAnalyzeResult(
+            text=text, rows=rows, spans=spans, report=report, registry=registry
+        )
 
     # ------------------------------------------------------------------ #
     # logical planning + optimization

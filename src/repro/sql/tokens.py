@@ -48,6 +48,8 @@ class TokenType(Enum):
     BY = auto()
     ASC = auto()
     DESC = auto()
+    EXPLAIN = auto()
+    ANALYZE = auto()
     EOF = auto()
 
 
@@ -70,6 +72,8 @@ KEYWORDS = {
     "by": TokenType.BY,
     "asc": TokenType.ASC,
     "desc": TokenType.DESC,
+    "explain": TokenType.EXPLAIN,
+    "analyze": TokenType.ANALYZE,
 }
 
 

@@ -71,3 +71,49 @@ class TestCluster:
         )
         assert code == 0
         assert "clusters" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_search_breakdown(self, dataset_file, capsys):
+        ds = load_jsonl(dataset_file)
+        qid = sorted(ds.ids)[0]
+        assert (
+            main(
+                ["trace", str(dataset_file), "--mode", "search",
+                 "--query-id", str(qid), "--tau", "0.01"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "search.partition" in out
+        assert "accounted" in out and "report:" in out
+
+    def test_join_writes_trace_files(self, dataset_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        chrome = tmp_path / "chrome.json"
+        assert (
+            main(
+                ["trace", str(dataset_file), "--mode", "join", "--tau", "0.005",
+                 "--out", str(trace), "--chrome", str(chrome)]
+            )
+            == 0
+        )
+        spans = json.loads(trace.read_text())["spans"]
+        events = json.loads(chrome.read_text())["traceEvents"]
+        assert spans and len(spans) == len(events)
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_knn_requires_query_id(self, dataset_file):
+        assert main(["trace", str(dataset_file), "--mode", "knn"]) == 1
+
+    def test_knn_breakdown(self, dataset_file, capsys):
+        ds = load_jsonl(dataset_file)
+        qid = sorted(ds.ids)[0]
+        assert (
+            main(["trace", str(dataset_file), "--mode", "knn",
+                  "--query-id", str(qid), "--k", "3"])
+            == 0
+        )
+        assert "knn.seed" in capsys.readouterr().out

@@ -138,3 +138,34 @@ class TestPlanJoin:
         plan = plan_join(edges, lam=1.0, use_division=False)
         assert plan.replicas == {}
         assert plan.replica_count(("T", 0)) == 1
+
+
+class TestOrientationEquivalence:
+    """The top-k-maintenance rewrite of ``orient_edges`` must reproduce the
+    O(V)-rescan reference implementation decision for decision."""
+
+    @settings(max_examples=120)
+    @given(edge_lists(), st.floats(0.01, 10))
+    def test_matches_reference_bit_for_bit(self, edges, lam):
+        import copy
+
+        from repro.core.costmodel import _orient_edges_reference
+
+        a = copy.deepcopy(edges)
+        b = copy.deepcopy(edges)
+        costs_new = orient_edges(a, lam=lam)
+        costs_ref = _orient_edges_reference(b, lam=lam)
+        assert [e.direction for e in a] == [e.direction for e in b]
+        assert costs_new == costs_ref  # float-exact, not approx
+
+    def test_matches_reference_on_duplicate_costs(self):
+        """Exact cost ties everywhere — the tie-break paths must agree."""
+        import copy
+
+        from repro.core.costmodel import _orient_edges_reference
+
+        edges = [_edge(i, j) for i in range(3) for j in range(3)]
+        a = copy.deepcopy(edges)
+        b = copy.deepcopy(edges)
+        assert orient_edges(a, lam=1.0) == _orient_edges_reference(b, lam=1.0)
+        assert [e.direction for e in a] == [e.direction for e in b]

@@ -82,3 +82,61 @@ class TestMeasureHook:
         engine.cluster.reset_clocks()
         engine.search(query, 0.003)
         assert engine.cluster.report().worker_times == first
+
+
+def _run_traced(seed):
+    """The _run_once job with tracing on; returns (observables, trace bytes)."""
+    dataset = beijing_like(60, seed=seed)
+    config = DITAConfig(
+        num_global_partitions=3, trie_fanout=4, num_pivots=3, use_tracing=True
+    )
+    engine = DITAEngine(dataset, config)
+
+    query = dataset.by_id(sorted(dataset.ids)[0])
+    matches = engine.search(query, 0.003)
+    pairs = engine.self_join(0.002)
+    report = engine.cluster.report()
+    observables = json.dumps(
+        {
+            "matches": sorted((t.traj_id, repr(d)) for t, d in matches),
+            "pairs": sorted((a, b, repr(d)) for a, b, d in pairs),
+            "report": report.to_dict(),
+        },
+        sort_keys=True,
+    ).encode()
+    trace = (
+        engine.cluster.tracer.export_json()
+        + engine.cluster.tracer.export_chrome()
+        + engine.metrics.to_json()
+    ).encode()
+    return observables, trace
+
+
+class TestTracedByteIdenticalRuns:
+    def test_same_seed_same_trace_bytes(self):
+        """Trace + metrics exports of two same-seed runs are byte-identical."""
+        a_obs, a_trace = _run_traced(7)
+        b_obs, b_trace = _run_traced(7)
+        assert a_obs == b_obs
+        assert a_trace == b_trace
+
+    def test_tracing_is_observation_only(self):
+        """Turning tracing on must not perturb any simulated observable:
+        results, worker clocks, makespan, bytes shipped are unchanged."""
+        dataset = beijing_like(60, seed=7)
+        traced_obs, _ = _run_traced(7)
+
+        config = DITAConfig(num_global_partitions=3, trie_fanout=4, num_pivots=3)
+        engine = DITAEngine(dataset, config)
+        query = dataset.by_id(sorted(dataset.ids)[0])
+        matches = engine.search(query, 0.003)
+        pairs = engine.self_join(0.002)
+        plain_obs = json.dumps(
+            {
+                "matches": sorted((t.traj_id, repr(d)) for t, d in matches),
+                "pairs": sorted((a, b, repr(d)) for a, b, d in pairs),
+                "report": engine.cluster.report().to_dict(),
+            },
+            sort_keys=True,
+        ).encode()
+        assert traced_obs == plain_obs

@@ -84,7 +84,10 @@ class TestJoinStats:
         pairs = left_engine.join(right_engine, 0.003, stats=stats)
         assert stats.plan is not None
         assert stats.partition_pairs >= 1
-        assert stats.verified_pairs == len(pairs)
+        # verified_pairs counts verifier invocations; result_pairs counts
+        # deduplicated output pairs
+        assert stats.result_pairs == len(pairs)
+        assert stats.verified_pairs >= stats.result_pairs
         assert stats.candidate_pairs >= len(pairs)
         assert stats.bytes_shipped >= 0
 
@@ -113,3 +116,50 @@ class TestJoinStats:
             for node, r in plan.replicas.items():
                 if r > 1:
                     assert costs[node] > tc_q
+
+
+class TestJoinStatsSemantics:
+    """Regression: ``verified_pairs`` used to report deduplicated *result*
+    pairs, and ``candidate_pairs`` was only accumulated when the caller
+    passed a stats object."""
+
+    def _fresh(self, n, seed, tracing=False):
+        data = beijing_like(n, seed=seed)
+        cfg = DITAConfig(
+            num_global_partitions=2,
+            trie_fanout=4,
+            num_pivots=3,
+            trie_leaf_capacity=4,
+            use_tracing=tracing,
+        )
+        return DITAEngine(data, cfg)
+
+    def test_verified_counts_verifier_invocations(self):
+        engine = self._fresh(120, seed=7)
+        stats = JoinStats()
+        pairs = engine.join(engine, 0.008, stats=stats)
+        # every trie candidate enters the verifier exactly once
+        assert stats.verified_pairs == stats.candidate_pairs
+        # and on this dataset the verifier really rejects some of them, so
+        # the invocation count is distinguishable from the result count
+        assert stats.verified_pairs > stats.result_pairs
+        assert stats.result_pairs == len(pairs)
+
+    def test_counts_independent_of_stats_argument(self):
+        """The same join must count identically whether or not the caller
+        passes a stats object (read back through the metrics registry)."""
+        with_stats = self._fresh(90, seed=9, tracing=True)
+        with_stats.join(with_stats, 0.005, stats=JoinStats())
+        without = self._fresh(90, seed=9, tracing=True)
+        without.join(without, 0.005)
+        keys = [
+            "join.candidate_pairs",
+            "join.verified_pairs",
+            "join.result_pairs",
+            "join.trajectories_shipped",
+            "join.bytes_shipped",
+        ]
+        got_a = {k: with_stats.metrics.value(k) for k in keys}
+        got_b = {k: without.metrics.value(k) for k in keys}
+        assert got_a == got_b
+        assert got_a["join.candidate_pairs"] > 0

@@ -85,3 +85,105 @@ class TestKNNJoin:
     def test_invalid_k(self, engine):
         with pytest.raises(ValueError):
             knn_join(engine, engine, 0)
+
+
+class TestTieAtThreshold:
+    """Regression: the threshold kernels assemble their sums differently
+    from the full-distance kernels, so a candidate whose true distance
+    exactly equals the current k-th distance could come back ``inf`` from
+    the threshold sweep and lose an id tie-break it should win.
+
+    ``T``/``Q`` below is a concrete pair where
+    ``dtw_double_direction(T, Q, dtw(T, Q)) == inf`` (found by seeded
+    search; the divergence is a ULP in the join-step summation).
+    """
+
+    T = np.array(
+        [
+            [0.6719948779563594, 0.1995154439682133],
+            [0.9421131105064978, 0.36511016824482856],
+            [0.10549527957022953, 0.6291081515397092],
+            [0.9271545530678674, 0.440377154715784],
+            [0.9545904936907372, 0.499895813687647],
+        ]
+    )
+    Q = np.array(
+        [
+            [0.42522862484907553, 0.6202134520153778],
+            [0.9950965052353241, 0.9489436749377653],
+            [0.4600451393090961, 0.7577288453082914],
+        ]
+    )
+
+    def test_kernel_divergence_premise(self):
+        """The engineered pair really does diverge at the boundary —
+        if a kernel change makes this vacuous, pick a new pair."""
+        import math
+
+        from repro.distances.dtw import dtw, dtw_double_direction
+
+        d = dtw(self.T, self.Q)
+        assert not math.isfinite(dtw_double_direction(self.T, self.Q, d))
+
+    def test_exact_top_k_keeps_exact_ties(self):
+        """Two trajectories at exactly the k-th distance: the smaller id
+        must win regardless of pool order, matching brute force."""
+        from repro.core.knn import _exact_top_k
+
+        query = Trajectory(0, self.Q)
+        # identical geometry, distinct ids: an exact distance tie
+        a = Trajectory(2, self.T.copy())
+        b = Trajectory(10, self.T.copy())
+        filler = Trajectory(5, self.Q.copy() + 1.0)  # far away
+        data = [a, b, filler]
+        engine = DITAEngine(
+            data, DITAConfig(num_global_partitions=1, trie_fanout=2, num_pivots=2)
+        )
+        # b fills the heap first; a then ties b's distance exactly and must
+        # displace it on the id tie-break
+        got = [(t.traj_id, d) for t, d in _exact_top_k(engine, query, 1, [b, a])]
+        want = brute_force_knn(data, query, 1)
+        assert [g[0] for g in got] == [w[0] for w in want] == [2]
+        assert got[0][1] == want[0][1]
+
+    def test_knn_search_matches_brute_force_on_ties(self):
+        """End-to-end kNN over a dataset containing exact duplicates."""
+        base = beijing_like(30, seed=21)
+        trajs = list(base)
+        dup_src = trajs[0]
+        trajs.append(Trajectory(max(base.ids) + 1, dup_src.points.copy()))
+        trajs.append(Trajectory(max(base.ids) + 2, dup_src.points.copy()))
+        engine = DITAEngine(
+            trajs, DITAConfig(num_global_partitions=2, trie_fanout=4, num_pivots=3)
+        )
+        query = Trajectory(-1, dup_src.points.copy())
+        got = [(t.traj_id, d) for t, d in knn_search(engine, query, 3)]
+        want = brute_force_knn(trajs, query, 3)
+        assert [g[0] for g in got] == [w[0] for w in want]
+
+
+class TestSeedingCost:
+    def test_seed_tasks_do_real_work(self, city):
+        """Regression: tau-seeding used to run `lambda: None` tasks with a
+        side-channel `work=` charge — free under a measure hook that prices
+        the body's real execution.  Every simulated task body must now
+        return its computation's result."""
+        from repro.cluster import Cluster
+        from repro.cluster.clock import DEFAULT_UNIT_COST_S
+
+        captured = []
+
+        def spy_measure(fn, work=1.0):
+            result = fn()
+            captured.append(result)
+            return result, float(work) * DEFAULT_UNIT_COST_S
+
+        cluster = Cluster(n_workers=4, measure=spy_measure)
+        cfg = DITAConfig(
+            num_global_partitions=2, trie_fanout=4, num_pivots=3, trie_leaf_capacity=4
+        )
+        engine = DITAEngine(city, cfg, cluster=cluster)
+        q = sample_queries(city, 1, seed=5)[0]
+        knn_search(engine, q, 5)
+        assert captured
+        assert all(r is not None for r in captured)

@@ -375,3 +375,113 @@ class TestCountStar:
         s, _ = session
         with pytest.raises(SQLError):
             s.sql("SELECT COUNT(*), traj_id FROM taxi")
+
+
+class TestExplainStatement:
+    def test_parse_explain(self):
+        from repro.sql.ast import Explain
+
+        stmt = parse("EXPLAIN SELECT * FROM t")
+        assert isinstance(stmt, Explain)
+        assert not stmt.analyze
+        assert isinstance(stmt.statement, Select)
+
+    def test_parse_explain_analyze(self):
+        from repro.sql.ast import Explain
+
+        stmt = parse("EXPLAIN ANALYZE SELECT * FROM t")
+        assert isinstance(stmt, Explain)
+        assert stmt.analyze
+
+    def test_parse_explain_create(self):
+        from repro.sql.ast import Explain
+
+        stmt = parse("EXPLAIN CREATE INDEX i ON t USE TRIE")
+        assert isinstance(stmt, Explain)
+        assert isinstance(stmt.statement, CreateIndex)
+
+    def test_explain_without_statement_rejected(self):
+        with pytest.raises(SQLError):
+            parse("EXPLAIN")
+
+    def test_sql_explain_returns_plan_rows(self, session):
+        s, data = session
+        q = sample_queries(data, 1, seed=1)[0]
+        rows = s.sql(
+            "EXPLAIN SELECT * FROM taxi WHERE DTW(taxi, :q) <= 0.01",
+            params={"q": q},
+        )
+        text = "\n".join(r["plan"] for r in rows)
+        assert "SimilaritySearch" in text
+
+    def test_explain_analyze_create_rejected(self, session):
+        s, _ = session
+        with pytest.raises(SQLError):
+            s.sql("EXPLAIN ANALYZE CREATE INDEX i2 ON taxi USE TRIE")
+
+
+class TestExplainAnalyze:
+    def test_search_breakdown_and_rows(self, session):
+        s, data = session
+        q = sample_queries(data, 1, seed=1)[0]
+        res = s.explain_analyze(
+            "SELECT * FROM taxi WHERE DTW(taxi, :q) <= 0.01", params={"q": q}
+        )
+        direct = s.sql(
+            "SELECT * FROM taxi WHERE DTW(taxi, :q) <= 0.01", params={"q": q}
+        )
+        assert len(res.rows) == len(direct)
+        assert "SimilaritySearch" in res.text
+        assert "search.partition" in res.text
+        assert f"rows: {len(direct)}" in res.text
+
+    def test_join_breakdown_reconciles_with_report(self, session):
+        """The acceptance criterion: the per-stage totals of an EXPLAIN
+        ANALYZE'd TRA-JOIN reconcile with the ExecutionReport of the same
+        run."""
+        from repro.obs import stage_rows, worker_span_seconds
+
+        s, _ = session
+        res = s.explain_analyze(
+            "SELECT a.traj_id, b.traj_id, distance "
+            "FROM taxi a TRA-JOIN taxi b ON DTW(a, b) <= 0.005"
+        )
+        assert res.rows  # the join produced pairs
+        rows = stage_rows(res.spans)
+        accounted = sum(r["seconds"] for r in rows if r["indent"] == 0)
+        busy_total = sum(res.report.worker_times.values())
+        assert accounted == pytest.approx(busy_total, abs=1e-9)
+        per_worker = worker_span_seconds(res.spans)
+        for wid, busy in res.report.worker_times.items():
+            assert per_worker.get(wid, 0.0) == pytest.approx(busy, abs=1e-9)
+        # the registry agrees with the row count
+        assert res.registry.value("join.result_pairs") == len(res.rows)
+        assert "join.chunk" in res.text
+
+    def test_explain_analyze_accepts_prefixed_text(self, session):
+        s, data = session
+        q = sample_queries(data, 1, seed=1)[0]
+        a = s.explain_analyze(
+            "EXPLAIN ANALYZE SELECT * FROM taxi WHERE DTW(taxi, :q) <= 0.01",
+            params={"q": q},
+        )
+        b = s.explain_analyze(
+            "SELECT * FROM taxi WHERE DTW(taxi, :q) <= 0.01", params={"q": q}
+        )
+        assert a.text == b.text
+
+    def test_scan_without_index_still_reports(self, session):
+        s, _ = session
+        res = s.explain_analyze("SELECT * FROM taxi LIMIT 3")
+        assert len(res.rows) == 3
+        assert res.report.worker_times == {}
+
+    def test_sql_explain_analyze_returns_text_rows(self, session):
+        s, data = session
+        q = sample_queries(data, 1, seed=1)[0]
+        rows = s.sql(
+            "EXPLAIN ANALYZE SELECT * FROM taxi WHERE DTW(taxi, :q) <= 0.01",
+            params={"q": q},
+        )
+        text = "\n".join(r["plan"] for r in rows)
+        assert "accounted" in text and "report:" in text
