@@ -20,18 +20,23 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 import numpy as np
 
 from ..trajectory.trajectory import Trajectory
 from .numerics import slack
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import DITAEngine
+
 #: one result: (trajectory, distance)
 Neighbour = Tuple[Trajectory, float]
 
 
-def _exact_top_k(engine, query: Trajectory, k: int, pool: Sequence[Trajectory]) -> List[Neighbour]:
+def _exact_top_k(
+    engine: "DITAEngine", query: Trajectory, k: int, pool: Sequence[Trajectory]
+) -> List[Neighbour]:
     """The ``k`` nearest pool members by (distance, id), exact.
 
     Once ``k`` seeds are in hand, every further trajectory is measured with
@@ -69,7 +74,7 @@ def _exact_top_k(engine, query: Trajectory, k: int, pool: Sequence[Trajectory]) 
     return out
 
 
-def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
+def _seed_tau(engine: "DITAEngine", query: Trajectory, k: int) -> Tuple[float, float]:
     """Bounds on the k-NN radius from exact distances to a capped sample of
     trajectories in the nearest partitions (by first point).
 
@@ -119,7 +124,7 @@ def _seed_tau(engine, query: Trajectory, k: int) -> Tuple[float, float]:
     return seed_dists[k - 1][0], seed_dists[0][0]
 
 
-def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
+def knn_search(engine: "DITAEngine", query: Trajectory, k: int) -> List[Neighbour]:
     """The ``k`` trajectories nearest to ``query`` under the engine's
     distance, sorted by (distance, id).  Exact."""
     if k <= 0:
@@ -135,7 +140,7 @@ def knn_search(engine, query: Trajectory, k: int) -> List[Neighbour]:
 
 
 def _knn_search_inner(
-    engine, query: Trajectory, k: int
+    engine: "DITAEngine", query: Trajectory, k: int
 ) -> Tuple[List[Neighbour], int, bool]:
     """The progressive-widening loop; returns (result, rounds, fallback)."""
     n_total = len(engine)

@@ -1,10 +1,15 @@
 """ditalint — project-specific static analysis for the DITA reproduction.
 
-An AST-based rule suite encoding the repo's reproducibility invariants:
-no wall-clock in simulated code (DIT001), seeded RNG only (DIT002), no
-exact float equality in numeric kernels (DIT003), no ordered decisions on
-set iteration order (DIT004), the distance lower-bound contract (DIT005)
-and general hygiene (DIT006).  See ``docs/STATIC_ANALYSIS.md``.
+An AST-based rule suite encoding the repo's reproducibility invariants.
+Per-file rules: no wall-clock in simulated code (DIT001), seeded RNG only
+(DIT002), no exact float equality in numeric kernels (DIT003), no ordered
+decisions on set iteration order (DIT004), the distance lower-bound
+contract (DIT005), general hygiene (DIT006), kernel dtype contracts
+(DIT011) and mandatory suppression reasons (DIT012).  Interprocedural
+rules over the project call graph: transitive wall-clock/entropy reach
+from task bodies (DIT007), accounting coverage (DIT008), tracer span
+balance (DIT009) and lineage coverage (DIT010).  See
+``docs/STATIC_ANALYSIS.md``.
 
 Programmatic use::
 
@@ -13,11 +18,15 @@ Programmatic use::
     assert result.ok, [f.render() for f in result.findings]
 """
 
-from . import rules  # noqa: F401  -- importing registers the rule set
+from . import rules  # noqa: F401  -- importing registers the per-file rules
+from . import rules_interproc  # noqa: F401  -- registers DIT007-DIT010
 from .baseline import Baseline
+from .callgraph import Project, module_name_for
 from .context import FileContext
 from .findings import Finding
-from .registry import Rule, all_rules, get_rule, register
+from .reachability import Reachability, Witness
+from .registry import ProjectRule, Rule, all_rules, get_rule, register
+from .reporters import json_report, sarif_report, text_report
 from .runner import LintResult, lint_paths, lint_source
 from .suppress import scan_suppressions
 
@@ -26,11 +35,19 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintResult",
+    "Project",
+    "ProjectRule",
+    "Reachability",
     "Rule",
+    "Witness",
     "all_rules",
     "get_rule",
+    "json_report",
     "lint_paths",
     "lint_source",
+    "module_name_for",
     "register",
+    "sarif_report",
     "scan_suppressions",
+    "text_report",
 ]

@@ -4,19 +4,21 @@
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+import textwrap
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
-from .registry import all_rules
-from .reporters import json_report, text_report
+from .registry import all_rules, get_rule
+from .reporters import json_report, sarif_report, text_report
 from .runner import lint_paths
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
-    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument("--format", choices=["text", "json", "sarif"], default="text")
     parser.add_argument(
         "--baseline",
         default=None,
@@ -30,11 +32,66 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="write current findings to the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for files changed vs git HEAD (the whole "
+        "tree is still analyzed so interprocedural rules see every caller)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="DIT0xx",
+        default=None,
+        help="print the invariant a rule protects (the paper/PR claim) and exit",
+    )
     parser.add_argument("--verbose", action="store_true", help="also list baselined/suppressed findings")
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
 
 
+def _explain(rule_id: str) -> int:
+    try:
+        rule = get_rule(rule_id.upper())
+    except KeyError:
+        known = ", ".join(r.rule_id for r in all_rules())
+        print(f"ditalint: error: unknown rule {rule_id!r} (known: {known})", file=sys.stderr)
+        return 2
+    scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+    print(f"{rule.rule_id}: {rule.summary}")
+    print(f"scope: {scope}")
+    print()
+    body = rule.explanation or "(no extended explanation recorded)"
+    print(textwrap.fill(body, width=78))
+    return 0
+
+
+def changed_files(root: Optional[Path] = None) -> Set[str]:
+    """Paths (relative POSIX) of ``.py`` files changed vs HEAD, staged, or
+    untracked — the ``--changed`` pre-commit working set."""
+    cwd = root or Path.cwd()
+    out: Set[str] = set()
+    commands = [
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    for cmd in commands:
+        try:
+            proc = subprocess.run(
+                cmd, cwd=cwd, capture_output=True, text=True, check=False
+            )
+        except OSError:
+            continue
+        if proc.returncode != 0:
+            continue
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                out.add(line)
+    return out
+
+
 def run_lint(args: argparse.Namespace) -> int:
+    if args.explain:
+        return _explain(args.explain)
     if args.list_rules:
         for rule in all_rules():
             scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
@@ -46,8 +103,15 @@ def run_lint(args: argparse.Namespace) -> int:
     if not args.no_baseline and not args.write_baseline and baseline_path.exists():
         baseline = Baseline.load(baseline_path)
 
+    restrict: Optional[Set[str]] = None
+    if args.changed:
+        restrict = changed_files()
+        if not restrict:
+            print("0 files changed: 0 findings")
+            return 0
+
     try:
-        result = lint_paths(args.paths, baseline=baseline)
+        result = lint_paths(args.paths, baseline=baseline, restrict_to=restrict)
     except FileNotFoundError as exc:
         print(f"ditalint: error: {exc}", file=sys.stderr)
         return 2
@@ -59,6 +123,8 @@ def run_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(json_report(result))
+    elif args.format == "sarif":
+        print(sarif_report(result))
     else:
         print(text_report(result, verbose=args.verbose))
     return result.exit_code

@@ -1,0 +1,141 @@
+"""Transitive reachability over the project call graph.
+
+Two query families power the interprocedural rules:
+
+* :meth:`Reachability.find_external` — from a start function, find the
+  deterministically-first path to an *external* call matching a predicate
+  (DIT007: a task body reaching ``time.time()`` three helpers down).
+  Returns the full witness chain so the finding message can name it.
+* :meth:`Reachability.reaches_attr` — can the start function reach any
+  function that makes an attribute call with one of the given bare names
+  (DIT008: "does this charge site's enclosing function reach
+  ``record``/``_trace_compute``?", DIT010: "... reach
+  ``register_rebuild``?").
+
+Traversal is breadth-first with sorted neighbour expansion, so the
+witness (and therefore every finding built from it) is byte-stable across
+runs and machines.  ``barrier_modules`` prunes sanctioned boundaries —
+DIT007 never descends into ``repro.cluster.clock``, whose whole purpose
+is to be the one audited place wall time enters the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .callgraph import ExternalCall, FunctionInfo, Project
+
+
+@dataclass(frozen=True)
+class Witness:
+    """One reachability proof: the chain of functions walked and the
+    external call found at its end."""
+
+    chain: Tuple[str, ...]  #: qualnames, start first
+    sink: ExternalCall
+    sink_path: str  #: file of the function making the sink call
+
+    def render_chain(self) -> str:
+        """``a -> b -> c`` using the short (module-stripped) names."""
+        shorts = [q.rsplit(".", 2) for q in self.chain]
+        return " -> ".join(
+            ".".join(p[-2:]) if len(p) > 1 else p[-1] for p in shorts
+        )
+
+
+class Reachability:
+    """Memoized reachability queries over one :class:`Project`."""
+
+    def __init__(
+        self, project: Project, barrier_modules: Sequence[str] = ()
+    ) -> None:
+        self.project = project
+        self.barriers: FrozenSet[str] = frozenset(barrier_modules)
+        self._attr_cache: Dict[Tuple[str, FrozenSet[str]], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # traversal primitives
+    # ------------------------------------------------------------------ #
+
+    def _blocked(self, info: FunctionInfo) -> bool:
+        return info.module in self.barriers
+
+    def _neighbours(self, info: FunctionInfo) -> List[str]:
+        seen = set()
+        out: List[str] = []
+        for q in sorted(info.calls):
+            if q in seen or q == info.qualname:
+                continue
+            seen.add(q)
+            if q in self.project.functions:
+                out.append(q)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def find_external(
+        self,
+        start: str,
+        predicate: Callable[[ExternalCall], bool],
+    ) -> Optional[Witness]:
+        """BFS from ``start``; the first function (in deterministic order)
+        whose external calls satisfy ``predicate`` yields the witness."""
+        if start not in self.project.functions:
+            return None
+        parent: Dict[str, Optional[str]] = {start: None}
+        frontier = [start]
+        while frontier:
+            next_frontier: List[str] = []
+            for qual in frontier:
+                info = self.project.functions[qual]
+                if self._blocked(info) and qual != start:
+                    continue
+                for call in sorted(
+                    info.external_calls, key=lambda c: (c.name, c.line, c.col)
+                ):
+                    if predicate(call):
+                        chain: List[str] = []
+                        cur: Optional[str] = qual
+                        while cur is not None:
+                            chain.append(cur)
+                            cur = parent[cur]
+                        return Witness(tuple(reversed(chain)), call, info.path)
+                for nxt in self._neighbours(info):
+                    if nxt not in parent:
+                        parent[nxt] = qual
+                        next_frontier.append(nxt)
+            frontier = next_frontier
+        return None
+
+    def reaches_attr(self, start: str, attr_names: FrozenSet[str]) -> bool:
+        """Can ``start`` reach a function making a bare attribute call with
+        one of ``attr_names`` (the start function itself included)?"""
+        key = (start, attr_names)
+        cached = self._attr_cache.get(key)
+        if cached is not None:
+            return cached
+        if start not in self.project.functions:
+            self._attr_cache[key] = False
+            return False
+        seen = {start}
+        frontier = [start]
+        found = False
+        while frontier and not found:
+            next_frontier: List[str] = []
+            for qual in frontier:
+                info = self.project.functions[qual]
+                if self._blocked(info) and qual != start:
+                    continue
+                if info.attr_calls & attr_names:
+                    found = True
+                    break
+                for nxt in self._neighbours(info):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        next_frontier.append(nxt)
+            frontier = next_frontier
+        self._attr_cache[key] = found
+        return found

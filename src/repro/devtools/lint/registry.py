@@ -1,19 +1,30 @@
 """Rule interface and the pluggable rule registry.
 
-A rule is a class with a ``rule_id``, a human summary, an optional path
-scope, and a ``check(ctx)`` generator; registering it with
-:func:`register` makes every runner and both CLIs pick it up — adding a
-rule to the suite is exactly one decorated class (see
-``docs/STATIC_ANALYSIS.md``).
+Two rule kinds share one registry:
+
+* a **file rule** (:class:`Rule`) sees one :class:`FileContext` at a time
+  via ``check(ctx)`` — DIT001–DIT006, DIT011, DIT012;
+* a **project rule** (:class:`ProjectRule`) sees the whole-program
+  :class:`~.callgraph.Project` via ``check_project(project)`` — the
+  interprocedural invariants DIT007–DIT010.
+
+Registering either with :func:`register` makes every runner and both CLIs
+pick it up — adding a rule to the suite is exactly one decorated class
+(see ``docs/STATIC_ANALYSIS.md``).  Every rule carries an ``explanation``
+— the paper/PR claim it protects — surfaced by ``--explain DIT0xx`` and
+embedded in the SARIF rule metadata.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Type
 
 from .context import FileContext
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import Project
 
 
 class Rule(ABC):
@@ -21,6 +32,8 @@ class Rule(ABC):
 
     rule_id: str = "DIT000"
     summary: str = ""
+    #: the paper claim / PR invariant this rule protects (``--explain``)
+    explanation: str = ""
     #: directory names the rule is confined to (any path component match);
     #: empty means the rule applies everywhere.
     scopes: tuple = ()
@@ -44,6 +57,30 @@ class Rule(ABC):
         )
 
 
+class ProjectRule(Rule):
+    """A rule over the whole-program call graph instead of single files.
+
+    ``check`` is inert; runners call :meth:`check_project` once per run
+    with the :class:`~.callgraph.Project` built from every parsed file.
+    ``scopes`` still applies — a project rule only *reports* into files
+    whose path matches (the analysis itself always sees the whole tree).
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield findings across the whole project."""
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id, path=path, line=line, col=col, message=message
+        )
+
+
 _RULES: Dict[str, Type[Rule]] = {}
 
 
@@ -64,3 +101,13 @@ def all_rules() -> List[Rule]:
 
 def get_rule(rule_id: str) -> Rule:
     return _RULES[rule_id]()
+
+
+def file_rules(rules) -> List[Rule]:
+    """The per-file subset of ``rules``."""
+    return [r for r in rules if not isinstance(r, ProjectRule)]
+
+
+def project_rules(rules) -> List["ProjectRule"]:
+    """The whole-program subset of ``rules``."""
+    return [r for r in rules if isinstance(r, ProjectRule)]

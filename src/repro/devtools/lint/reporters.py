@@ -1,10 +1,25 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+All machine formats serialise with sorted keys and contain no timestamps,
+hostnames or absolute paths, so two runs over the same tree are
+byte-identical — the determinism test in ``tests/test_lint.py`` and the
+CI gate both rely on this.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import List, Optional, Sequence
 
+from .findings import Finding
+from .registry import Rule, all_rules
 from .runner import LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "ditalint"
+TOOL_VERSION = "2.0.0"
+TOOL_URI = "docs/STATIC_ANALYSIS.md"
 
 
 def text_report(result: LintResult, verbose: bool = False) -> str:
@@ -27,5 +42,99 @@ def json_report(result: LintResult) -> str:
         "baselined": [f.to_dict() for f in result.baselined],
         "suppressed": [f.to_dict() for f in result.suppressed],
         "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(
+    finding: Finding, rule_index: int, suppression_kind: Optional[str]
+) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col),
+                    },
+                }
+            }
+        ],
+    }
+    if suppression_kind is not None:
+        result["suppressions"] = [{"kind": suppression_kind}]
+    return result
+
+
+def sarif_report(
+    result: LintResult, rules: Optional[Sequence[Rule]] = None
+) -> str:
+    """SARIF 2.1.0 for CI code-scanning upload.
+
+    New findings are plain ``error`` results; baselined findings carry an
+    ``external`` suppression (the committed baseline) and inline-disabled
+    ones an ``inSource`` suppression, so scanners show them as reviewed
+    rather than open.
+    """
+    rules = list(rules) if rules is not None else all_rules()
+    rules = sorted(rules, key=lambda r: r.rule_id)
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
+    descriptors = [
+        {
+            "id": rule.rule_id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.explanation or rule.summary},
+            "helpUri": TOOL_URI,
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rules
+    ]
+    results: List[dict] = []
+    for finding in result.findings:
+        results.append(
+            _sarif_result(finding, rule_index.get(finding.rule_id, -1), None)
+        )
+    for finding in result.baselined:
+        results.append(
+            _sarif_result(finding, rule_index.get(finding.rule_id, -1), "external")
+        )
+    for finding in result.suppressed:
+        results.append(
+            _sarif_result(finding, rule_index.get(finding.rule_id, -1), "inSource")
+        )
+    results.sort(
+        key=lambda r: (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+            r["locations"][0]["physicalLocation"]["region"]["startColumn"],
+            r["ruleId"],
+        )
+    )
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,18 +1,22 @@
-"""The DITA-specific rule set (DIT001–DIT006).
+"""The per-file DITA rule set (DIT001–DIT006, DIT011, DIT012).
 
 Each rule encodes an invariant the reproduction's claims depend on; the
 rationale for every id, with the paper claim it protects, lives in
-``docs/STATIC_ANALYSIS.md``.
+``docs/STATIC_ANALYSIS.md`` and in each rule's ``explanation`` (shown by
+``--explain DIT0xx``).  The interprocedural rules (DIT007–DIT010) live in
+``rules_interproc.py``.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterator, List, Optional, Set
 
 from .context import FileContext
 from .findings import Finding
 from .registry import Rule, register
+from .suppress import iter_suppression_comments
 
 # --------------------------------------------------------------------- #
 # DIT001 — wall-clock reads in simulated-cluster code
@@ -41,6 +45,16 @@ class WallClockRule(Rule):
 
     rule_id = "DIT001"
     summary = "wall-clock call inside simulated-cluster code"
+    explanation = (
+        "Figures 13-15 compare simulated makespans across partitioners and "
+        "cluster sizes; the claim only replicates if a run's cost model is "
+        "a pure function of the workload and seed. Any host-clock read in "
+        "cluster/core/baselines code couples the reported numbers to the "
+        "machine's speed and load. repro.cluster.clock is the single "
+        "audited boundary where wall time may enter (and only for the "
+        "optional measure= hook). See DIT007 for the interprocedural "
+        "version of this check."
+    )
     scopes = ("cluster", "core", "baselines")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -80,6 +94,14 @@ class UnseededRNGRule(Rule):
 
     rule_id = "DIT002"
     summary = "unseeded or module-global RNG use"
+    explanation = (
+        "The reproduction's datasets are generated, not downloaded, so "
+        "every accuracy/recall table is only meaningful if the generator "
+        "is a seeded numpy.random.Generator threaded through the call "
+        "stack. Module-global RNG (random.*, numpy legacy np.random.*) is "
+        "cross-cutting mutable state: any import-order change reshuffles "
+        "every dataset and silently invalidates stored golden results."
+    )
     scopes = ("datagen", "cluster", "core")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -145,6 +167,14 @@ class FloatEqualityRule(Rule):
 
     rule_id = "DIT003"
     summary = "exact float equality in distance/geometry code"
+    explanation = (
+        "DITA's pruning is exact only relative to a consistent comparison "
+        "discipline: the trie filter keeps a candidate iff its lower bound "
+        "is within tau plus slack (repro.core.numerics). An exact == or != "
+        "on accumulated float sums prunes boundary answers on one platform "
+        "and keeps them on another, breaking the result-equivalence checks "
+        "between the trie path and the brute-force oracle."
+    )
     scopes = ("distances", "geometry")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -227,6 +257,15 @@ class UnorderedIterationRule(Rule):
 
     rule_id = "DIT004"
     summary = "ordered decision fed by set/dict iteration order"
+    explanation = (
+        "Partition assignment, cost-model tie-breaking and k-NN result "
+        "ordering must not inherit the interpreter's set/dict iteration "
+        "order: string hashing is salted per process unless PYTHONHASHSEED "
+        "is pinned, so a min()/max()/for over a set can pick a different "
+        "winner on every run. Byte-identical makespans (PR 1) and the "
+        "golden-trace CI gate (PR 5) both require sorted iteration with "
+        "explicit keys wherever order reaches an observable decision."
+    )
 
     _MESSAGE = (
         "iteration over a set feeds an ordered decision; iterate "
@@ -313,6 +352,14 @@ class DistanceContractRule(Rule):
 
     rule_id = "DIT005"
     summary = "distance class violates the lower-bound contract"
+    explanation = (
+        "DITA's central theorem (paper section 4) is that trie pruning "
+        "loses no answers because every cell estimate is a true lower "
+        "bound of the trajectory distance. A distance class that plugs "
+        "into the engine without implementing lower_bound (or explicitly "
+        "opting out via lower_bound_exempt, which forces the exact path) "
+        "would make pruning silently lossy - wrong results, not slow ones."
+    )
     scopes = ("distances",)
 
     _BASE = "TrajectoryDistance"
@@ -402,6 +449,13 @@ class HygieneRule(Rule):
 
     rule_id = "DIT006"
     summary = "mutable default argument or shadowed builtin"
+    explanation = (
+        "A mutable default argument is shared across calls, so a cached "
+        "candidate list or partition buffer leaks state between queries - "
+        "exactly the kind of bug that makes run N differ from run 1 with "
+        "the same seed. Shadowed builtins (sum, min, filter...) in numeric "
+        "code additionally break later vectorisation refactors."
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         class_members = self._class_member_ids(ctx.tree)
@@ -459,3 +513,161 @@ class HygieneRule(Rule):
         for arg in all_args:
             if arg.arg in _SHADOW_BUILTINS:
                 yield self.finding(ctx, arg, f"argument shadows builtin {arg.arg!r}")
+
+
+# --------------------------------------------------------------------- #
+# DIT011 — kernel dtype/width contracts
+# --------------------------------------------------------------------- #
+
+_ARRAY_CTORS = {
+    "numpy.asarray", "numpy.array", "numpy.frombuffer", "numpy.fromiter",
+    "numpy.arange", "numpy.ascontiguousarray",
+}
+
+_NARROW_FLOATS = {"float16", "float32", "half", "single"}
+_NARROW_INTS = {
+    "int8", "int16", "int32", "intc", "short", "byte",
+    "uint8", "uint16", "uint32", "uintc", "ushort", "ubyte",
+}
+
+_INDEX_NAME = re.compile(
+    r"(^|_)(start|starts|indptr|indices|index|idx|offset|offsets|pos|ptr|"
+    r"ptrs|row|rows|col|cols)(_|$)"
+)
+
+
+@register
+class KernelDtypeRule(Rule):
+    """The vectorised kernels are only exchangeable with the scalar
+    reference path if dtypes are pinned: float64 data, int64 indices."""
+
+    rule_id = "DIT011"
+    summary = "kernel dtype contract: implicit dtype, float32 downcast, narrow index"
+    explanation = (
+        "PR 2's vectorised kernels are validated against the scalar "
+        "reference implementations by exact comparison, which is only "
+        "sound if both paths accumulate in float64; a silent float32 "
+        "downcast shifts boundary candidates past the pruning threshold. "
+        "The CSR-style frontier layout (PR 3) indexes node arrays with "
+        "starts/indptr vectors - int32 indices overflow silently past "
+        "2^31 elements and numpy wraps rather than raises. Kernels must "
+        "therefore construct arrays with an explicit dtype, never "
+        "down-cast to float16/32, and keep index-carrying arrays at int64."
+    )
+    scopes = ("kernels",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_index_assign(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        name = ctx.dotted_name(node.func)
+        dtype_kw = next((kw for kw in node.keywords if kw.arg == "dtype"), None)
+        if name in _ARRAY_CTORS and dtype_kw is None:
+            # np.array(literal) positional-dtype form: np.array(x, np.int64)
+            if not (name.endswith((".array", ".asarray")) and len(node.args) >= 2):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() without an explicit dtype lets the input decide "
+                    "the width; kernels must pin dtype=np.float64 (data) or "
+                    "np.int64 (indices)",
+                )
+        narrow = self._narrow_dtype(ctx, dtype_kw.value) if dtype_kw else None
+        if narrow is None and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "astype" and node.args:
+                narrow = self._narrow_dtype(ctx, node.args[0])
+        if narrow in _NARROW_FLOATS:
+            yield self.finding(
+                ctx,
+                node,
+                f"silent downcast to {narrow}; kernels accumulate in float64 so "
+                "the vectorised path stays exactly exchangeable with the "
+                "scalar reference",
+            )
+
+    def _check_index_assign(self, ctx: FileContext, node) -> Iterator[Finding]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        names.extend(
+            t.attr for t in targets
+            if isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name)
+        )
+        if not any(_INDEX_NAME.search(n.lower()) for n in names):
+            return
+        value = node.value
+        if value is None:
+            return
+        for call in ast.walk(value):
+            if not isinstance(call, ast.Call):
+                continue
+            narrow = None
+            for kw in call.keywords:
+                if kw.arg == "dtype":
+                    narrow = self._narrow_dtype(ctx, kw.value)
+            if narrow is None and isinstance(call.func, ast.Attribute):
+                if call.func.attr == "astype" and call.args:
+                    narrow = self._narrow_dtype(ctx, call.args[0])
+            if narrow in _NARROW_INTS:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"index array {names[0]!r} built as {narrow}; CSR index "
+                    "vectors must be int64 (narrower widths wrap silently "
+                    "past 2**31 elements)",
+                )
+
+    @staticmethod
+    def _narrow_dtype(ctx: FileContext, node: ast.AST) -> Optional[str]:
+        """The short dtype name if ``node`` denotes a narrow dtype."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            tail = node.value
+        else:
+            dotted = ctx.dotted_name(node)
+            if dotted is None:
+                return None
+            tail = dotted.rsplit(".", 1)[-1]
+        if tail in _NARROW_FLOATS or tail in _NARROW_INTS:
+            return tail
+        return None
+
+
+# --------------------------------------------------------------------- #
+# DIT012 — suppressions must carry a reason
+# --------------------------------------------------------------------- #
+
+@register
+class SuppressionReasonRule(Rule):
+    """A suppression without a written reason is an unreviewable hole in
+    the invariant net the other rules weave."""
+
+    rule_id = "DIT012"
+    summary = "ditalint suppression without a '-- reason' trailer"
+    explanation = (
+        "Every other rule here encodes a paper claim or PR invariant, so "
+        "an unexplained suppression is an unreviewable exception to one "
+        "of them. The '-- reason' trailer is the audit trail: it states "
+        "why the invariant provably holds anyway (or why this site is "
+        "the sanctioned boundary). disable=all deliberately does not "
+        "cover DIT012, so a bare blanket suppression cannot silence the "
+        "rule that flags bare suppressions."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for comment in iter_suppression_comments(ctx.source):
+            if comment.reason:
+                continue
+            ids = ",".join(comment.ids)
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.path,
+                line=comment.line,
+                col=comment.col,
+                message=(
+                    f"suppression '{comment.kind}={ids}' has no justification; "
+                    "append ' -- <reason>' stating why the invariant holds here"
+                ),
+            )

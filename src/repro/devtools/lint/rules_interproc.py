@@ -1,0 +1,395 @@
+"""Interprocedural rules (DIT007–DIT010) over the project call graph.
+
+These encode the whole-program invariants PRs 1–5 established — the ones
+a per-file walker provably cannot check:
+
+* **DIT007**: no simulated task body (or simulated-time charger) may
+  transitively reach a wall-clock or OS-entropy call.  DIT001/DIT002 see
+  the call itself; this rule sees the *path* from the task body to it.
+* **DIT008**: every ``charge_compute`` / ``charge_network`` call site
+  must be able to reach a tracer span or metrics record, or the PR 5
+  span-sum == busy_time accounting identity silently under-counts.
+* **DIT009**: every ``Tracer.begin`` needs a guaranteed matching ``end``
+  (``tracer.job()`` context manager or try/finally), or early returns and
+  exceptions leave the driver span stack unbalanced.
+* **DIT010**: an entry point that submits partition tasks must have
+  lineage registered on some path (``register_rebuild``), or PR 4's
+  crash recovery has nothing to replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .callgraph import ExternalCall, FunctionInfo, Project
+from .findings import Finding
+from .reachability import Reachability, Witness
+from .registry import ProjectRule, register
+from .rules import _NUMPY_LEGACY_CALLS, _WALL_CLOCK_CALLS
+
+#: the sanctioned wall-time boundary: reachability never descends into it
+_CLOCK_MODULE = "repro.cluster.clock"
+
+_ENTROPY_CALLS = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "time.sleep",  # host-time dependent; never meaningful in simulated code
+}
+
+_CHARGE_ATTRS = frozenset({"charge_compute", "charge_network"})
+_TRACE_SINK_ATTRS = frozenset(
+    {"record", "_trace_compute", "_trace_network", "absorb", "observe", "counter"}
+)
+_LINEAGE_ATTRS = frozenset({"register_rebuild"})
+
+
+def _is_clock_or_entropy(call: ExternalCall) -> bool:
+    name = call.name
+    if name in _WALL_CLOCK_CALLS or name in _ENTROPY_CALLS:
+        return True
+    if name in _NUMPY_LEGACY_CALLS:
+        return True
+    if name.startswith("secrets."):
+        return True
+    if name.startswith("random.") and name.count(".") == 1:
+        return name != "random.Random"
+    if name in ("numpy.random.default_rng", "numpy.random.RandomState"):
+        return call.unseeded
+    return False
+
+
+def _short(qualname: str) -> str:
+    """``repro.core.engine.DITAEngine.search`` -> ``DITAEngine.search``."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def _walk_own_calls(fn_node: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes in a function body, not descending into nested defs."""
+    stack: List[ast.AST] = list(getattr(fn_node, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+# --------------------------------------------------------------------- #
+# DIT007 — transitive wall-clock / OS-entropy reach from task bodies
+# --------------------------------------------------------------------- #
+
+@register
+class TaskBodyPurityRule(ProjectRule):
+    """Simulated makespans are only byte-identical if *nothing a task body
+    transitively calls* reads the host clock or OS entropy."""
+
+    rule_id = "DIT007"
+    summary = "task body or time-charger transitively reaches wall clock/OS entropy"
+    explanation = (
+        "Figures 13-15 report simulated makespans: the cluster charges each "
+        "task a deterministic cost, so two same-seed runs are byte-identical "
+        "(PR 1). DIT001 flags a wall-clock read in the file it occurs in, "
+        "but a task body that reaches time.perf_counter() through two "
+        "helper calls passes it clean. DIT007 closes that hole: it walks "
+        "the project call graph from every simulated task body (callables "
+        "passed to run_local/run_on_worker/register_rebuild) and from every "
+        "function that charges simulated time (charge_compute/"
+        "charge_network call sites), and reports any path to a wall-clock "
+        "or OS-entropy call, naming the chain. repro.cluster.clock is the "
+        "sanctioned boundary and is never descended into."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        reach = Reachability(project, barrier_modules=(_CLOCK_MODULE,))
+        seen: Set[Tuple[str, int, int, str]] = set()
+        # 1) every submitted task body, reported at its submission site
+        for fn, line, col, attr, body in project.submission_sites():
+            witness = reach.find_external(body, _is_clock_or_entropy)
+            if witness is None:
+                continue
+            message = (
+                f"task body {_short(body)} passed to {attr}() reaches "
+                f"{witness.sink.name}() via {witness.render_chain()}; simulated "
+                "work must be priced by the cluster's measure hook, not the "
+                "host clock (repro.cluster.clock)"
+            )
+            key = (fn.path, line, col, message)
+            if key not in seen:
+                seen.add(key)
+                yield self.project_finding(fn.path, line, col, message)
+        # 2) every function that charges simulated time itself
+        for fn in project.sorted_functions():
+            if not (fn.attr_calls & _CHARGE_ATTRS):
+                continue
+            witness = reach.find_external(fn.qualname, _is_clock_or_entropy)
+            if witness is None:
+                continue
+            message = (
+                f"{_short(fn.qualname)} charges simulated time but reaches "
+                f"{witness.sink.name}() via {witness.render_chain()}; charge "
+                "amounts derived from the host clock make the makespan a "
+                "function of the machine, not the algorithm"
+            )
+            key = (fn.path, fn.line, 0, message)
+            if key not in seen:
+                seen.add(key)
+                yield self.project_finding(fn.path, fn.line, 1, message)
+
+
+# --------------------------------------------------------------------- #
+# DIT008 — accounting coverage for charge/ship sites
+# --------------------------------------------------------------------- #
+
+@register
+class AccountingCoverageRule(ProjectRule):
+    """Every charge must be visible to the observability layer, or the
+    PR 5 accounting identity (span sum == busy time) silently breaks."""
+
+    rule_id = "DIT008"
+    summary = "charge site cannot reach a tracer span or metrics record"
+    explanation = (
+        "PR 5 proves a per-worker accounting identity: the sum of traced "
+        "span charges equals the worker's reported busy_time (tests/"
+        "test_obs.py). The identity holds only if every site that charges "
+        "a worker clock (charge_compute/charge_network) also records a "
+        "span or metrics entry on some path when tracing is enabled. "
+        "DIT008 walks the call graph from each charge site's enclosing "
+        "function and reports sites from which no tracer record "
+        "(Tracer.record, _trace_compute/_trace_network) or metrics write "
+        "(absorb/observe/counter) is reachable - a charge the EXPLAIN "
+        "ANALYZE tables would silently omit."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        reach = Reachability(project)
+        for fn in project.sorted_functions():
+            if not (fn.attr_calls & _CHARGE_ATTRS):
+                continue
+            if reach.reaches_attr(fn.qualname, _TRACE_SINK_ATTRS):
+                continue
+            for call in _walk_own_calls(fn.node):
+                func = call.func
+                if not isinstance(func, ast.Attribute) or func.attr not in _CHARGE_ATTRS:
+                    continue
+                yield self.project_finding(
+                    fn.path,
+                    call.lineno,
+                    call.col_offset + 1,
+                    f"{func.attr}() call in {_short(fn.qualname)} cannot reach a "
+                    "tracer span or metrics record; with use_tracing on this "
+                    "charge is invisible to the span-sum == busy_time "
+                    "accounting identity — record a span (Tracer.record) or "
+                    "metrics entry on the same path",
+                )
+
+
+# --------------------------------------------------------------------- #
+# DIT009 — span begin/end balance
+# --------------------------------------------------------------------- #
+
+def _is_tracer_recv(
+    project: Project, fn: FunctionInfo, recv: ast.AST
+) -> bool:
+    """Does ``recv`` plausibly denote a Tracer?  Name-based (``tracer``,
+    ``self.tracer``, ``…_tracer``) plus ``self`` inside a Tracer class."""
+    if isinstance(recv, ast.Name):
+        if recv.id == "self":
+            cls = fn.class_qualname or ""
+            return cls.rsplit(".", 1)[-1] == "Tracer"
+        return "tracer" in recv.id.lower()
+    if isinstance(recv, ast.Attribute):
+        return "tracer" in recv.attr.lower()
+    return False
+
+
+@register
+class SpanBalanceRule(ProjectRule):
+    """``Tracer.begin`` without a guaranteed ``end`` leaves the driver
+    span stack unbalanced on early returns and exception edges."""
+
+    rule_id = "DIT009"
+    summary = "Tracer.begin without a guaranteed matching end on all paths"
+    explanation = (
+        "Driver job spans nest via a stack (Tracer.begin/end); end() "
+        "raises if the innermost open span does not match, and an "
+        "unbalanced begin corrupts the envelope of every span recorded "
+        "after it - the golden-trace CI gate would drift. A bare begin() "
+        "is only balanced on the happy path: an early return or an "
+        "exception between begin and end skips the end. DIT009 flags "
+        "begin() calls that are not protected by a try/finally whose "
+        "finally block ends the span; the tracer.job() context manager "
+        "is the sanctioned pattern and never fires this rule."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for fn in project.sorted_functions():
+            if isinstance(fn.node, ast.Lambda):
+                continue
+            begins: List[ast.Call] = []
+            ends: List[ast.Call] = []
+            for call in _walk_own_calls(fn.node):
+                func = call.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr == "begin" and _is_tracer_recv(project, fn, func.value):
+                    begins.append(call)
+                elif func.attr == "end" and _is_tracer_recv(project, fn, func.value):
+                    ends.append(call)
+            if not begins:
+                continue
+            protected = self._finally_protected(fn.node)
+            for call in sorted(begins, key=lambda c: (c.lineno, c.col_offset)):
+                if id(call) in protected:
+                    continue
+                hint = (
+                    "no end() in this function"
+                    if not ends
+                    else "end() is not in a finally block"
+                )
+                yield self.project_finding(
+                    fn.path,
+                    call.lineno,
+                    call.col_offset + 1,
+                    f"Tracer.begin in {_short(fn.qualname)} has no guaranteed "
+                    f"matching end on all paths ({hint}); use tracer.job() as "
+                    "a context manager or end the span in try/finally",
+                )
+
+    @staticmethod
+    def _finally_protected(fn_node: ast.AST) -> Set[int]:
+        """ids of begin-calls covered by a try/finally that ends a span:
+        either inside the Try body, or in a statement of the same block
+        *before* the Try (the idiomatic ``span = t.begin(...); try: ...
+        finally: t.end(span)`` shape)."""
+
+        def ends_span(stmts: List[ast.stmt]) -> bool:
+            return any(
+                isinstance(c, ast.Call)
+                and isinstance(c.func, ast.Attribute)
+                and c.func.attr == "end"
+                for stmt in stmts
+                for c in ast.walk(stmt)
+            )
+
+        def begin_calls(node: ast.AST) -> List[ast.Call]:
+            return [
+                c
+                for c in ast.walk(node)
+                if isinstance(c, ast.Call)
+                and isinstance(c.func, ast.Attribute)
+                and c.func.attr == "begin"
+            ]
+
+        out: Set[int] = set()
+        # every statement block under the function (protection ids from
+        # nested defs are harmless: callers only test their own begins)
+        blocks: List[List[ast.stmt]] = []
+        for node in ast.walk(fn_node):
+            for name in ("body", "orelse", "finalbody"):
+                child = getattr(node, name, None)
+                if isinstance(child, list) and child:
+                    blocks.append(child)
+        for block in blocks:
+            guarded_from: Optional[int] = None
+            for idx, stmt in enumerate(block):
+                if (
+                    isinstance(stmt, ast.Try)
+                    and stmt.finalbody
+                    and ends_span(stmt.finalbody)
+                ):
+                    # begins inside the protected try body
+                    for body_stmt in stmt.body:
+                        out.update(id(c) for c in begin_calls(body_stmt))
+                    guarded_from = idx
+            if guarded_from is None:
+                continue
+            # begins in earlier statements of the same block (the begin;
+            # try/finally sibling shape)
+            for stmt in block[:guarded_from]:
+                out.update(id(c) for c in begin_calls(stmt))
+        return out
+
+
+# --------------------------------------------------------------------- #
+# DIT010 — lineage coverage for task-submitting entry points
+# --------------------------------------------------------------------- #
+
+@register
+class LineageCoverageRule(ProjectRule):
+    """Submitting partition tasks without registered lineage makes a
+    worker crash unrecoverable — PR 4's recovery replays rebuild
+    closures, and an unregistered partition has none."""
+
+    rule_id = "DIT010"
+    summary = "partition tasks submitted with no reachable register_rebuild"
+    explanation = (
+        "PR 4's fault tolerance recovers a crashed worker by re-placing "
+        "its partitions and re-running their registered rebuild closures "
+        "(Cluster.register_rebuild); the chaos suite proves result-"
+        "equivalence under faults *given* that registration. A new engine "
+        "entry point that calls run_local/run_on_worker without lineage "
+        "registered on any path would pass every per-file check and still "
+        "lose state on the first injected crash. DIT010 accepts a "
+        "submission if register_rebuild is reachable from the submitting "
+        "function, its class constructor, a direct caller, or the "
+        "constructor of a parameter's class (the engine-passed-in "
+        "pattern); classes that are deliberately not fault-tolerant opt "
+        "out with lineage_exempt = \"<reason>\" (the DIT005 idiom)."
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        reach = Reachability(project)
+
+        def registers(qualname: Optional[str]) -> bool:
+            return qualname is not None and reach.reaches_attr(
+                qualname, _LINEAGE_ATTRS
+            )
+
+        def init_registers(class_qualname: Optional[str]) -> bool:
+            if class_qualname is None or class_qualname not in project.classes:
+                return False
+            return registers(project.resolve_method(class_qualname, "__init__"))
+
+        for fn in project.sorted_functions():
+            if isinstance(fn.node, ast.Lambda):
+                continue
+            submit_calls = [
+                c
+                for c in _walk_own_calls(fn.node)
+                if isinstance(c.func, ast.Attribute)
+                and c.func.attr in ("run_local", "run_on_worker")
+            ]
+            if not submit_calls:
+                continue
+            if fn.class_qualname is not None and (
+                project.class_str_attr(fn.class_qualname, "lineage_exempt")
+                is not None
+            ):
+                continue
+            if registers(fn.qualname) or init_registers(fn.class_qualname):
+                continue
+            if any(t and init_registers(t) for t in fn.param_types.values()):
+                continue
+            callers = project.callers_of(fn.qualname)
+            if any(
+                registers(c.qualname) or init_registers(c.class_qualname)
+                for c in callers
+            ):
+                continue
+            first = min(submit_calls, key=lambda c: (c.lineno, c.col_offset))
+            yield self.project_finding(
+                fn.path,
+                first.lineno,
+                first.col_offset + 1,
+                f"{_short(fn.qualname)} submits partition tasks but no path "
+                "(self, constructor, caller, or engine parameter) registers a "
+                "rebuild closure via register_rebuild; a worker crash cannot "
+                "be recovered — register lineage or set "
+                'lineage_exempt = "<reason>" on the class',
+            )

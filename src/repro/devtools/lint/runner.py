@@ -1,16 +1,25 @@
-"""File collection and rule execution."""
+"""File collection and two-phase rule execution.
+
+Phase 1 runs the per-file rules over each parsed file; phase 2 builds one
+:class:`~.callgraph.Project` from *every* parsed file and runs the
+interprocedural rules over it.  Suppression comments and the baseline
+apply uniformly to both phases (a project finding is suppressed by a
+comment in the file it points at), and everything is sorted before it is
+reported, so output is byte-stable for identical trees.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .baseline import Baseline
+from .callgraph import Project
 from .context import FileContext
 from .findings import Finding
-from .registry import Rule, all_rules
-from .suppress import scan_suppressions
+from .registry import Rule, all_rules, file_rules, project_rules
+from .suppress import SuppressionIndex, scan_suppressions
 
 #: reserved id for files the linter cannot parse
 SYNTAX_ERROR_ID = "DIT000"
@@ -52,29 +61,76 @@ def _rel_posix(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id=SYNTAX_ERROR_ID,
+        path=path,
+        line=exc.lineno or 0,
+        col=(exc.offset or 1),
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _path_in_scope(rule: Rule, path: str) -> bool:
+    """Scope filter for project-rule findings (file rules use
+    ``applies_to``; a project rule analyzes the whole tree but only
+    *reports* into files matching its scopes)."""
+    if not rule.scopes:
+        return True
+    return any(part in rule.scopes for part in path.split("/"))
+
+
+def _run_rules(
+    contexts: Sequence[FileContext], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Both phases over already-parsed files; raw (unsuppressed) findings."""
+    raw: List[Finding] = []
+    for ctx in contexts:
+        for rule in file_rules(rules):
+            if rule.applies_to(ctx):
+                raw.extend(rule.check(ctx))
+    interproc = project_rules(rules)
+    if interproc and contexts:
+        known: Set[str] = {ctx.path for ctx in contexts}
+        project = Project(contexts)
+        for rule in interproc:
+            for f in rule.check_project(project):
+                if f.path in known and _path_in_scope(rule, f.path):
+                    raw.append(f)
+    return raw
+
+
+def _split_suppressed(
+    raw: Sequence[Finding], indexes: Dict[str, SuppressionIndex]
+) -> Tuple[List[Finding], List[Finding]]:
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in raw:
+        index = indexes.get(f.path)
+        if index is not None and index.is_suppressed(f):
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
 def lint_source(
     source: str, path: str, rules: Optional[Sequence[Rule]] = None
 ) -> tuple:
-    """Lint one in-memory file; returns (kept findings, suppressed)."""
+    """Lint one in-memory file; returns (kept findings, suppressed).
+
+    The project rules see a one-file project, so interprocedural chains
+    *within* the file (the fixture tests) resolve normally.
+    """
     rules = list(rules) if rules is not None else all_rules()
     try:
         ctx = FileContext.parse(path, source)
     except SyntaxError as exc:
-        finding = Finding(
-            rule_id=SYNTAX_ERROR_ID,
-            path=path,
-            line=exc.lineno or 0,
-            col=(exc.offset or 1),
-            message=f"file does not parse: {exc.msg}",
-        )
-        return [finding], []
-    raw: List[Finding] = []
-    for rule in rules:
-        if rule.applies_to(ctx):
-            raw.extend(rule.check(ctx))
-    suppressions = scan_suppressions(source)
-    kept = [f for f in raw if not suppressions.is_suppressed(f)]
-    suppressed = [f for f in raw if suppressions.is_suppressed(f)]
+        return [_syntax_finding(path, exc)], []
+    raw = _run_rules([ctx], rules)
+    kept, suppressed = _split_suppressed(raw, {path: scan_suppressions(source)})
+    kept.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
     return kept, suppressed
 
 
@@ -83,21 +139,41 @@ def lint_paths(
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
     root: Optional["str | Path"] = None,
+    restrict_to: Optional[Set[str]] = None,
 ) -> LintResult:
-    """Lint files/directories and fold in suppressions and the baseline."""
+    """Lint files/directories and fold in suppressions and the baseline.
+
+    ``restrict_to`` (the ``--changed`` mode) limits *reported* findings to
+    the given relative POSIX paths while still analyzing every collected
+    file — the call graph must see the whole tree either way.
+    """
+    rules = list(rules) if rules is not None else all_rules()
     root_path = Path(root) if root is not None else Path.cwd()
     result = LintResult()
-    collected: List[Finding] = []
+    raw: List[Finding] = []
+    contexts: List[FileContext] = []
+    indexes: Dict[str, SuppressionIndex] = {}
     for file_path in iter_python_files(paths):
         rel = _rel_posix(file_path, root_path)
         source = file_path.read_text(encoding="utf-8")
-        kept, suppressed = lint_source(source, rel, rules)
-        collected.extend(kept)
-        result.suppressed.extend(suppressed)
         result.files_checked += 1
-    collected.sort(key=Finding.sort_key)
+        try:
+            ctx = FileContext.parse(rel, source)
+        except SyntaxError as exc:
+            raw.append(_syntax_finding(rel, exc))
+            continue
+        contexts.append(ctx)
+        indexes[rel] = scan_suppressions(source)
+    raw.extend(_run_rules(contexts, rules))
+    kept, suppressed = _split_suppressed(raw, indexes)
+    if restrict_to is not None:
+        kept = [f for f in kept if f.path in restrict_to]
+        suppressed = [f for f in suppressed if f.path in restrict_to]
+    kept.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    result.suppressed = suppressed
     if baseline is not None:
-        result.findings, result.baselined = baseline.split(collected)
+        result.findings, result.baselined = baseline.split(kept)
     else:
-        result.findings = collected
+        result.findings = kept
     return result

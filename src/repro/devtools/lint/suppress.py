@@ -3,12 +3,16 @@
 Two forms, parsed from the token stream (so strings that merely *contain*
 the magic text are ignored):
 
-* ``# ditalint: disable=DIT001`` (or ``=DIT001,DIT004`` or ``=all``) on
-  the offending line, or on a comment-only line directly above it;
-* ``# ditalint: disable-file=DIT001`` (or ``=all``) anywhere in the file.
+* ``# ditalint: disable=DIT001 -- reason`` (or ``=DIT001,DIT004`` or
+  ``=all``) on the offending line, or on a comment-only line directly
+  above it;
+* ``# ditalint: disable-file=DIT001 -- reason`` (or ``=all``) anywhere
+  in the file.
 
-Anything after the id list (e.g. ``-- justification``) is ignored, so
-suppressions can and should carry a reason inline.
+The ``-- reason`` trailer is **mandatory**: a bare suppression is itself
+a finding (DIT012).  To keep that enforceable, ``disable=all`` never
+covers DIT012 — only an explicit ``disable=DIT012`` does, and that
+spelling necessarily carries its own reason or re-fires the rule.
 """
 
 from __future__ import annotations
@@ -17,14 +21,60 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Iterator, List, Set, Tuple
 
 from .findings import Finding
+
+#: the rule id enforcing reason trailers; exempt from ``all`` so a bare
+#: ``disable=all`` cannot silence the rule that flags bare suppressions
+REASON_RULE_ID = "DIT012"
 
 _PATTERN = re.compile(
     r"#\s*ditalint:\s*(?P<kind>disable-file|disable)\s*=\s*"
     r"(?P<ids>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
 )
+
+
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One parsed ``# ditalint: disable…`` comment."""
+
+    line: int
+    col: int  #: 1-based column of the comment start
+    kind: str  #: ``"disable"`` or ``"disable-file"``
+    ids: Tuple[str, ...]  #: normalised rule ids (``all`` lower-cased)
+    reason: str  #: the ``-- …`` trailer, ``""`` when absent
+    own_line: bool  #: True when nothing but whitespace precedes it
+
+
+def iter_suppression_comments(source: str) -> Iterator[SuppressionComment]:
+    """Every suppression comment in ``source``, in file order."""
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip().lower() if part.strip().lower() == "all" else part.strip()
+            for part in match.group("ids").split(",")
+        )
+        row = tok.start[0]
+        before = lines[row - 1][: tok.start[1]] if row - 1 < len(lines) else ""
+        yield SuppressionComment(
+            line=row,
+            col=tok.start[1] + 1,
+            kind=match.group("kind"),
+            ids=ids,
+            reason=match.group("reason") or "",
+            own_line=not before.strip(),
+        )
 
 
 @dataclass
@@ -35,34 +85,21 @@ class SuppressionIndex:
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
 
     def is_suppressed(self, finding: Finding) -> bool:
-        if "all" in self.file_level or finding.rule_id in self.file_level:
+        ids = self.file_level | self.by_line.get(finding.line, set())
+        if finding.rule_id in ids:
             return True
-        ids = self.by_line.get(finding.line, ())
-        return "all" in ids or finding.rule_id in ids
+        return "all" in ids and finding.rule_id != REASON_RULE_ID
 
 
 def scan_suppressions(source: str) -> SuppressionIndex:
     index = SuppressionIndex()
-    try:
-        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        return index
-    lines = source.splitlines()
-    for tok in tokens:
-        if tok.type != tokenize.COMMENT:
-            continue
-        match = _PATTERN.search(tok.string)
-        if match is None:
-            continue
-        ids = {part.strip().lower() if part.strip().lower() == "all" else part.strip()
-               for part in match.group("ids").split(",")}
-        row = tok.start[0]
-        if match.group("kind") == "disable-file":
+    for comment in iter_suppression_comments(source):
+        ids = set(comment.ids)
+        if comment.kind == "disable-file":
             index.file_level |= ids
             continue
-        index.by_line.setdefault(row, set()).update(ids)
+        index.by_line.setdefault(comment.line, set()).update(ids)
         # a comment-only line shields the next line too
-        before = lines[row - 1][: tok.start[1]] if row - 1 < len(lines) else ""
-        if not before.strip():
-            index.by_line.setdefault(row + 1, set()).update(ids)
+        if comment.own_line:
+            index.by_line.setdefault(comment.line + 1, set()).update(ids)
     return index

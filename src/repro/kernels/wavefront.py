@@ -80,7 +80,7 @@ def _min_plus_sweep(
     ``inf``) once two consecutive diagonals are dead.
     """
     m, n = w.shape
-    flat = np.ascontiguousarray(w).ravel()
+    flat = np.ascontiguousarray(w, dtype=np.float64).ravel()
     size = m + 1
     d2 = np.full(size, _INF)
     d2[0] = 0.0  # diagonal 0: V[0, 0]
@@ -157,7 +157,7 @@ def _max_min_sweep(w: np.ndarray, tau: Optional[float]) -> float:
     V[i,j-1]))`` with ``V[0,0] = 0`` (costs are non-negative, so the start
     cell evaluates to ``w[0,0]``)."""
     m, n = w.shape
-    flat = np.ascontiguousarray(w).ravel()
+    flat = np.ascontiguousarray(w, dtype=np.float64).ravel()
     size = m + 1
     d2 = np.full(size, _INF)
     d2[0] = 0.0
@@ -213,7 +213,7 @@ def _edr_sweep(cost: np.ndarray, tau: Optional[float]) -> float:
     (0 on match, 1 otherwise), insert/delete cost 1, and the real edit
     boundaries ``V[i,0] = i``, ``V[0,j] = j``."""
     m, n = cost.shape
-    flat = np.ascontiguousarray(cost).ravel()
+    flat = np.ascontiguousarray(cost, dtype=np.float64).ravel()
     size = m + 1
     d2 = np.full(size, _INF)
     d2[0] = 0.0
@@ -284,7 +284,7 @@ def _erp_sweep(
     costs ``gt[i]``, inserting ``q_j`` costs ``gq[j]``, and the boundaries
     are the gap-cost prefix sums."""
     m, n = w.shape
-    flat = np.ascontiguousarray(w).ravel()
+    flat = np.ascontiguousarray(w, dtype=np.float64).ravel()
     g_t = np.cumsum(gt)
     g_q = np.cumsum(gq)
     size = m + 1

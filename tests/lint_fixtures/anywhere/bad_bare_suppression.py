@@ -1,0 +1,9 @@
+"""DIT012 positive: suppressions without a '-- reason' trailer, and a
+bare disable=all that must NOT silence DIT012 itself."""
+
+VALUE = 1  # ditalint: disable=DIT004
+
+
+def blanket():
+    # ditalint: disable=all
+    return VALUE

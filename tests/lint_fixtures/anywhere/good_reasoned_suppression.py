@@ -1,0 +1,7 @@
+"""DIT012 negative: every suppression carries a reason; an explicit
+DIT012 disable (with its own reason) can silence a deliberate bare one."""
+
+VALUE = 1  # ditalint: disable=DIT004 -- fixture: constant, no ordering involved
+
+# ditalint: disable=DIT012 -- fixture: the next line's bare disable is itself the test subject
+# ditalint: disable=DIT006

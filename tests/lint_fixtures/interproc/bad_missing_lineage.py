@@ -1,0 +1,14 @@
+"""DIT010 positive: an engine entry point submits partition tasks but no
+path registers a rebuild closure."""
+
+
+class ForgetfulEngine:
+    def __init__(self, cluster, partitions):
+        self.cluster = cluster
+        self.partitions = partitions
+
+    def search(self, query):
+        out = []
+        for pid in sorted(self.partitions):
+            self.cluster.run_local(pid, lambda ms=None: query, work=1, tag="search")
+        return out

@@ -1,0 +1,31 @@
+"""DIT007 positive: the task body reaches time.time() only through TWO
+levels of helper calls — per-file DIT001 provably misses this (the file
+is outside DIT001's scopes, and even in scope the sink is not in the
+body).  Lineage and tracing are handled so only DIT007 fires."""
+
+import time
+
+
+def _helper_two():
+    return time.time()
+
+
+def _helper_one():
+    return _helper_two()
+
+
+def _rebuild():
+    return []
+
+
+def submit(cluster):
+    def body(ms=None):
+        return _helper_one()
+
+    cluster.register_rebuild(0, _rebuild)
+    cluster.run_local(0, body, work=1, tag="demo")
+
+
+def charge(cluster, tracer, amount):
+    cluster.charge_compute(0, amount * _helper_one())
+    tracer.record("demo", "compute", 0, 0.0, amount)

@@ -1,0 +1,16 @@
+"""DIT009 positive: begin without a guaranteed end — a bare begin with
+no end at all, and a begin whose end is skipped by an early return."""
+
+
+def no_end(tracer):
+    span = tracer.begin("job", "job")
+    return span
+
+
+def early_return(tracer, fast):
+    span = tracer.begin("job", "job")
+    if fast:
+        return None  # leaks the span
+    result = 42
+    tracer.end(span)
+    return result

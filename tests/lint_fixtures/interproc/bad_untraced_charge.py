@@ -1,0 +1,10 @@
+"""DIT008 positive: a charge site from which no tracer/metrics sink is
+reachable — invisible to the span-sum == busy_time identity."""
+
+
+def _cost(n):
+    return 0.001 * n
+
+
+def charge_quietly(worker, n):
+    worker.charge_compute(_cost(n))

@@ -1,0 +1,17 @@
+"""DIT009 negative: spans end on every path — try/finally or the
+tracer.job() context manager."""
+
+
+def try_finally(tracer, fast):
+    span = tracer.begin("job", "job")
+    try:
+        if fast:
+            return None
+        return 42
+    finally:
+        tracer.end(span)
+
+
+def context_manager(tracer):
+    with tracer.job("search", k=5):
+        return 42

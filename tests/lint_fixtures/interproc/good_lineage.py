@@ -1,0 +1,37 @@
+"""DIT010 negative: lineage registered in the constructor, an exempted
+baseline class, and a submitting function whose caller registers."""
+
+
+class RecoverableEngine:
+    def __init__(self, cluster, partitions):
+        self.cluster = cluster
+        self.partitions = partitions
+        for pid in sorted(partitions):
+            cluster.register_rebuild(pid, lambda p=pid: p)
+
+    def search(self, query):
+        for pid in sorted(self.partitions):
+            self.cluster.run_local(pid, lambda ms=None: query, work=1, tag="s")
+        return []
+
+
+class ThrowawayEngine:
+    lineage_exempt = "fixture: driver-side baseline, nothing to rebuild"
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def search(self, query):
+        self.cluster.run_local(0, lambda ms=None: query, work=1, tag="s")
+        return []
+
+
+def _submit_all(cluster, bodies):
+    for i, body in enumerate(bodies):
+        cluster.run_local(i, body, work=1, tag="batch")
+
+
+def driver(cluster, bodies):
+    for i, _ in enumerate(bodies):
+        cluster.register_rebuild(i, lambda p=i: p)
+    _submit_all(cluster, bodies)

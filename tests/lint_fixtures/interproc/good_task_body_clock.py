@@ -1,0 +1,23 @@
+"""DIT007 negative: task bodies stay pure — costs come from the work
+model, not the host clock."""
+
+
+def _cost_model(n):
+    return 0.001 * n
+
+
+def _rebuild():
+    return []
+
+
+def submit(cluster, n):
+    def body(ms=None):
+        return _cost_model(n)
+
+    cluster.register_rebuild(0, _rebuild)
+    cluster.run_local(0, body, work=n, tag="demo")
+
+
+def charge(cluster, tracer, n):
+    cluster.charge_compute(0, _cost_model(n))
+    tracer.record("demo", "compute", 0, 0.0, _cost_model(n))

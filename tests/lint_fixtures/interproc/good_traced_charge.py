@@ -1,0 +1,21 @@
+"""DIT008 negative: every charge site reaches a tracer span or metrics
+record (directly or through a helper)."""
+
+
+def _trace(tracer, seconds):
+    tracer.record("task", "compute", 0, 0.0, seconds)
+
+
+def charge_direct(worker, tracer, seconds):
+    worker.charge_compute(seconds)
+    tracer.record("task", "compute", 0, 0.0, seconds)
+
+
+def charge_via_helper(worker, tracer, seconds):
+    worker.charge_compute(seconds)
+    _trace(tracer, seconds)
+
+
+def charge_metrics(worker, metrics, seconds):
+    worker.charge_network(seconds)
+    metrics.observe("net.seconds", seconds)

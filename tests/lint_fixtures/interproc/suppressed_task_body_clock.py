@@ -1,0 +1,20 @@
+"""DIT007 suppression: the submission site opts out with a reason."""
+
+import time
+
+
+def _measure():
+    return time.time()
+
+
+def _rebuild():
+    return []
+
+
+def submit(cluster):
+    def body(ms=None):
+        return _measure()
+
+    cluster.register_rebuild(0, _rebuild)
+    # ditalint: disable=DIT007 -- fixture: measured-mode benchmark prices real time on purpose
+    cluster.run_local(0, body, work=1, tag="demo")

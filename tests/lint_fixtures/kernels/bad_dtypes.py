@@ -1,0 +1,18 @@
+"""DIT011 positive: implicit dtype, float32 downcast, narrow CSR index."""
+
+import numpy as np
+
+
+def implicit_dtype(points):
+    return np.asarray(points)
+
+
+def downcast(matrix):
+    small = np.asarray(matrix, dtype=np.float32)
+    return small.astype("float16")
+
+
+def narrow_index(n):
+    starts = np.zeros(n, dtype=np.int32)
+    indptr = np.arange(n, dtype=np.int64).astype(np.int16)
+    return starts, indptr

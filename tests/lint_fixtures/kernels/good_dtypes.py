@@ -1,0 +1,11 @@
+"""DIT011 negative: pinned float64 data, int64 indices; a narrow dtype
+is fine for a non-index tag array."""
+
+import numpy as np
+
+
+def pinned(points, n):
+    data = np.asarray(points, dtype=np.float64)
+    starts = np.zeros(n, dtype=np.int64)
+    kind = np.full(n, 2, dtype=np.int8)  # tag array, not an index
+    return data, starts, kind

@@ -1,0 +1,297 @@
+"""Call-graph resolution and reachability: the interprocedural core.
+
+Each test builds a small multi-module project from in-memory sources and
+checks one resolution capability the DIT007–DIT010 rules lean on:
+module-qualified functions, methods through inheritance, first-class
+callables as task bodies, type inference, and deterministic witnesses.
+"""
+
+from repro.devtools.lint.callgraph import Project, module_name_for
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.reachability import Reachability
+
+
+def project(**files):
+    """Build a Project from ``{path: source}`` keyword files (dots in
+    keyword names are written as ``__``)."""
+    contexts = [
+        FileContext.parse(path.replace("__", "/"), source)
+        for path, source in files.items()
+    ]
+    return Project(contexts)
+
+
+class TestModuleNames:
+    def test_src_layout_is_stripped(self):
+        assert module_name_for("src/repro/core/engine.py") == "repro.core.engine"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+
+    def test_plain_layout_maps_one_to_one(self):
+        assert module_name_for("benchmarks/common.py") == "benchmarks.common"
+
+
+class TestFunctionResolution:
+    def test_same_module_call(self):
+        p = project(
+            **{"pkg__a.py": "def f():\n    return g()\n\ndef g():\n    return 1\n"}
+        )
+        assert "pkg.a.g" in p.functions["pkg.a.f"].calls
+
+    def test_cross_module_import(self):
+        p = project(
+            **{
+                "pkg__a.py": "from pkg.b import helper\n\ndef f():\n    return helper()\n",
+                "pkg__b.py": "def helper():\n    return 1\n",
+            }
+        )
+        assert "pkg.b.helper" in p.functions["pkg.a.f"].calls
+
+    def test_relative_import(self):
+        p = project(
+            **{
+                "src__repro__core__a.py": (
+                    "from .b import helper\n\ndef f():\n    return helper()\n"
+                ),
+                "src__repro__core__b.py": "def helper():\n    return 1\n",
+            }
+        )
+        assert "repro.core.b.helper" in p.functions["repro.core.a.f"].calls
+
+    def test_external_calls_are_recorded(self):
+        p = project(
+            **{"pkg__a.py": "import time\n\ndef f():\n    return time.time()\n"}
+        )
+        names = [c.name for c in p.functions["pkg.a.f"].external_calls]
+        assert names == ["time.time"]
+
+    def test_constructing_a_class_runs_its_init(self):
+        p = project(
+            **{
+                "pkg__a.py": (
+                    "class C:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                    "\n"
+                    "def f():\n"
+                    "    return C()\n"
+                )
+            }
+        )
+        assert "pkg.a.C.__init__" in p.functions["pkg.a.f"].calls
+
+
+class TestMethodResolution:
+    SOURCE = (
+        "class Base:\n"
+        "    def process(self):\n"
+        "        return 1\n"
+        "\n"
+        "class Derived(Base):\n"
+        "    def run(self):\n"
+        "        return self.process()\n"
+    )
+
+    def test_self_call_resolves_through_inheritance(self):
+        p = project(**{"pkg__a.py": self.SOURCE})
+        assert "pkg.a.Base.process" in p.functions["pkg.a.Derived.run"].calls
+
+    def test_linearization_is_exact_for_single_inheritance(self):
+        p = project(**{"pkg__a.py": self.SOURCE})
+        assert p.linearize("pkg.a.Derived") == ["pkg.a.Derived", "pkg.a.Base"]
+
+    def test_override_wins(self):
+        src = self.SOURCE + (
+            "\n"
+            "class Override(Derived):\n"
+            "    def process(self):\n"
+            "        return 2\n"
+            "    def go(self):\n"
+            "        return self.process()\n"
+        )
+        p = project(**{"pkg__a.py": src})
+        assert "pkg.a.Override.process" in p.functions["pkg.a.Override.go"].calls
+
+    def test_typed_receiver_resolves_methods(self):
+        p = project(
+            **{
+                "pkg__a.py": (
+                    "class Cluster:\n"
+                    "    def run_local(self, pid, fn):\n"
+                    "        return fn()\n"
+                    "\n"
+                    "def drive():\n"
+                    "    cluster = Cluster()\n"
+                    "    cluster.run_local(0, drive)\n"
+                )
+            }
+        )
+        assert "pkg.a.Cluster.run_local" in p.functions["pkg.a.drive"].calls
+
+    def test_annotated_param_resolves_methods(self):
+        p = project(
+            **{
+                "pkg__a.py": (
+                    "class Engine:\n"
+                    "    def step(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "def drive(engine: Engine):\n"
+                    "    return engine.step()\n"
+                )
+            }
+        )
+        assert "pkg.a.Engine.step" in p.functions["pkg.a.drive"].calls
+
+    def test_self_attr_type_inference(self):
+        p = project(
+            **{
+                "pkg__a.py": (
+                    "class Worker:\n"
+                    "    def charge(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "class Cluster:\n"
+                    "    def __init__(self):\n"
+                    "        self.worker = Worker()\n"
+                    "    def go(self):\n"
+                    "        return self.worker.charge()\n"
+                )
+            }
+        )
+        assert "pkg.a.Worker.charge" in p.functions["pkg.a.Cluster.go"].calls
+
+
+class TestCallablesAsArguments:
+    def test_nested_def_passed_as_task_body(self):
+        p = project(
+            **{
+                "pkg__a.py": (
+                    "def submit(cluster):\n"
+                    "    def body(ms=None):\n"
+                    "        return 1\n"
+                    "    cluster.run_local(0, body)\n"
+                )
+            }
+        )
+        sites = p.submission_sites()
+        assert [(attr, body) for _, _, _, attr, body in sites] == [
+            ("run_local", "pkg.a.submit.body")
+        ]
+
+    def test_lambda_passed_as_task_body(self):
+        p = project(
+            **{"pkg__a.py": "def submit(cluster):\n    cluster.run_local(0, lambda ms=None: 1)\n"}
+        )
+        (site,) = p.submission_sites()
+        assert site[3] == "run_local"
+        assert "<lambda:" in site[4]
+
+    def test_method_reference_passed_as_task_body(self):
+        p = project(
+            **{
+                "pkg__a.py": (
+                    "class Engine:\n"
+                    "    def rebuild(self):\n"
+                    "        return []\n"
+                    "    def go(self, cluster):\n"
+                    "        cluster.register_rebuild(0, self.rebuild)\n"
+                )
+            }
+        )
+        (site,) = p.submission_sites()
+        assert site[3] == "register_rebuild"
+        assert site[4] == "pkg.a.Engine.rebuild"
+
+    def test_module_function_passed_across_modules(self):
+        p = project(
+            **{
+                "pkg__a.py": "def body():\n    return 1\n",
+                "pkg__b.py": (
+                    "from pkg.a import body\n"
+                    "\n"
+                    "def submit(cluster):\n"
+                    "    cluster.run_on_worker(0, body)\n"
+                ),
+            }
+        )
+        (site,) = p.submission_sites()
+        assert site[4] == "pkg.a.body"
+
+
+class TestReachability:
+    THREE_HOPS = (
+        "import time\n"
+        "\n"
+        "def sink():\n"
+        "    return time.time()\n"
+        "\n"
+        "def mid():\n"
+        "    return sink()\n"
+        "\n"
+        "def top():\n"
+        "    return mid()\n"
+    )
+
+    def test_find_external_returns_full_chain(self):
+        p = project(**{"pkg__a.py": self.THREE_HOPS})
+        reach = Reachability(p)
+        witness = reach.find_external(
+            "pkg.a.top", lambda c: c.name == "time.time"
+        )
+        assert witness is not None
+        assert witness.chain == ("pkg.a.top", "pkg.a.mid", "pkg.a.sink")
+        assert witness.render_chain() == "a.top -> a.mid -> a.sink"
+
+    def test_barrier_module_blocks_traversal(self):
+        p = project(
+            **{
+                "src__repro__cluster__clock.py": (
+                    "import time\n\ndef now():\n    return time.time()\n"
+                ),
+                "pkg__a.py": (
+                    "from repro.cluster.clock import now\n"
+                    "\n"
+                    "def top():\n"
+                    "    return now()\n"
+                ),
+            }
+        )
+        reach = Reachability(p, barrier_modules=("repro.cluster.clock",))
+        assert reach.find_external("pkg.a.top", lambda c: c.name == "time.time") is None
+        unbarred = Reachability(p)
+        assert (
+            unbarred.find_external("pkg.a.top", lambda c: c.name == "time.time")
+            is not None
+        )
+
+    def test_reaches_attr_transitively(self):
+        p = project(
+            **{
+                "pkg__a.py": (
+                    "def low(tracer):\n"
+                    "    tracer.record('x', 'compute', 0, 0.0, 1.0)\n"
+                    "\n"
+                    "def high(tracer):\n"
+                    "    low(tracer)\n"
+                    "\n"
+                    "def lost(tracer):\n"
+                    "    return 1\n"
+                )
+            }
+        )
+        reach = Reachability(p)
+        assert reach.reaches_attr("pkg.a.high", frozenset({"record"}))
+        assert not reach.reaches_attr("pkg.a.lost", frozenset({"record"}))
+
+    def test_witness_is_deterministic_across_builds(self):
+        chains = []
+        for _ in range(3):
+            p = project(**{"pkg__a.py": self.THREE_HOPS})
+            reach = Reachability(p)
+            witness = reach.find_external(
+                "pkg.a.top", lambda c: c.name == "time.time"
+            )
+            chains.append(witness.chain)
+        assert len(set(chains)) == 1

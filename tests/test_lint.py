@@ -9,7 +9,7 @@ import pytest
 from repro.devtools.lint.baseline import Baseline
 from repro.devtools.lint.cli import main as lint_main
 from repro.devtools.lint.registry import all_rules
-from repro.devtools.lint.reporters import json_report, text_report
+from repro.devtools.lint.reporters import json_report, sarif_report, text_report
 from repro.devtools.lint.runner import SYNTAX_ERROR_ID, lint_paths, lint_source
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -229,17 +229,213 @@ class TestReporting:
 
 
 # --------------------------------------------------------------------- #
+# interprocedural rules (DIT007-DIT010) + DIT011/DIT012 fixtures
+# --------------------------------------------------------------------- #
+
+class TestInterprocFixtures:
+    def test_dit007_two_level_helper_chain(self):
+        """The acceptance case: the task body reaches time.time() only
+        through two helper calls, and the finding names the chain."""
+        kept, _ = lint_fixture("interproc/bad_task_body_clock.py")
+        hits = [f for f in kept if f.rule_id == "DIT007"]
+        assert len(hits) == 2  # submission site + charging function
+        site = next(f for f in hits if "passed to run_local()" in f.message)
+        assert "time.time" in site.message
+        assert "->" in site.message  # the witness chain is spelled out
+
+    def test_dit007_clean(self):
+        kept, _ = lint_fixture("interproc/good_task_body_clock.py")
+        assert kept == []
+
+    def test_dit007_suppressed_with_reason(self):
+        kept, suppressed = lint_fixture("interproc/suppressed_task_body_clock.py")
+        assert kept == []
+        assert rule_ids(suppressed) == {"DIT007"}
+
+    def test_dit008_untraced_charge(self):
+        kept, _ = lint_fixture("interproc/bad_untraced_charge.py")
+        hits = [f for f in kept if f.rule_id == "DIT008"]
+        assert len(hits) == 1
+        assert "charge_compute" in hits[0].message
+
+    def test_dit008_clean(self):
+        kept, _ = lint_fixture("interproc/good_traced_charge.py")
+        assert kept == []
+
+    def test_dit009_unbalanced_spans(self):
+        kept, _ = lint_fixture("interproc/bad_unbalanced_span.py")
+        hits = [f for f in kept if f.rule_id == "DIT009"]
+        assert len(hits) == 2
+        assert any("no end() in this function" in f.message for f in hits)
+        assert any("not in a finally block" in f.message for f in hits)
+
+    def test_dit009_clean(self):
+        kept, _ = lint_fixture("interproc/good_balanced_span.py")
+        assert kept == []
+
+    def test_dit010_missing_lineage(self):
+        kept, _ = lint_fixture("interproc/bad_missing_lineage.py")
+        hits = [f for f in kept if f.rule_id == "DIT010"]
+        assert len(hits) == 1
+        assert "register_rebuild" in hits[0].message
+
+    def test_dit010_clean_constructor_exempt_and_caller(self):
+        kept, _ = lint_fixture("interproc/good_lineage.py")
+        assert kept == []
+
+    def test_dit011_dtype_contracts(self):
+        kept, _ = lint_fixture("kernels/bad_dtypes.py")
+        hits = [f for f in kept if f.rule_id == "DIT011"]
+        messages = "\n".join(f.message for f in hits)
+        assert len(hits) == 5
+        assert "without an explicit dtype" in messages
+        assert "float32" in messages and "float16" in messages
+        assert "int32" in messages and "int16" in messages
+
+    def test_dit011_clean_allows_tag_arrays(self):
+        kept, _ = lint_fixture("kernels/good_dtypes.py")
+        assert kept == []
+
+    def test_dit012_bare_suppressions(self):
+        kept, _ = lint_fixture("anywhere/bad_bare_suppression.py")
+        hits = [f for f in kept if f.rule_id == "DIT012"]
+        assert len(hits) == 2  # disable=DIT004 and disable=all, both bare
+
+    def test_dit012_survives_disable_all(self):
+        """A bare disable=all cannot silence the rule that flags it."""
+        kept, _ = lint_fixture("anywhere/bad_bare_suppression.py")
+        assert any(
+            f.rule_id == "DIT012" and "disable=all" in f.message for f in kept
+        )
+
+    def test_dit012_clean_and_explicitly_suppressible(self):
+        kept, suppressed = lint_fixture("anywhere/good_reasoned_suppression.py")
+        assert kept == []
+        assert rule_ids(suppressed) == {"DIT012"}
+
+
+# --------------------------------------------------------------------- #
+# SARIF, determinism, --explain, --changed
+# --------------------------------------------------------------------- #
+
+class TestSarif:
+    def test_sarif_validates_against_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        result = lint_paths([FIXTURES], root=REPO_ROOT)
+        payload = json.loads(sarif_report(result))
+        schema = json.loads(
+            (REPO_ROOT / "tests" / "data" / "sarif-2.1.0-subset.schema.json").read_text()
+        )
+        jsonschema.validate(payload, schema)
+
+    def test_sarif_carries_rules_results_and_suppressions(self):
+        result = lint_paths([FIXTURES], root=REPO_ROOT)
+        payload = json.loads(sarif_report(result))
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "ditalint"
+        descriptors = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DIT001", "DIT007", "DIT011", "DIT012"} <= descriptors
+        assert all(
+            r["fullDescription"]["text"] for r in run["tool"]["driver"]["rules"]
+        )
+        kinds = {
+            s["kind"] for r in run["results"] for s in r.get("suppressions", [])
+        }
+        assert "inSource" in kinds  # inline-disabled fixture findings carried
+
+    def test_sarif_baselined_findings_are_marked_external(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        result = lint_paths(LINTED_TREES, baseline=baseline, root=REPO_ROOT)
+        payload = json.loads(sarif_report(result))
+        kinds = [
+            s["kind"]
+            for r in payload["runs"][0]["results"]
+            for s in r.get("suppressions", [])
+        ]
+        assert "external" in kinds
+
+
+class TestDeterminism:
+    def run_once(self):
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        trees = [*LINTED_TREES, FIXTURES]
+        result = lint_paths(trees, baseline=baseline, root=REPO_ROOT)
+        return json_report(result), sarif_report(result)
+
+    def test_json_and_sarif_are_byte_identical_across_runs(self):
+        first_json, first_sarif = self.run_once()
+        second_json, second_sarif = self.run_once()
+        assert first_json == second_json
+        assert first_sarif == second_sarif
+
+    def test_sarif_contains_no_volatile_fields(self):
+        _, sarif = self.run_once()
+        for needle in ("timestamp", "startTimeUtc", "endTimeUtc", str(REPO_ROOT)):
+            assert needle not in sarif
+
+
+class TestCLIModes:
+    def test_cli_sarif_format(self, capsys):
+        lint_main(
+            [str(FIXTURES / "datagen" / "bad_rng.py"), "--no-baseline", "--format", "sarif"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"]
+
+    def test_cli_explain_known_rule(self, capsys):
+        assert lint_main(["--explain", "DIT007"]) == 0
+        out = capsys.readouterr().out
+        assert "DIT007" in out
+        assert "call graph" in out  # the paper-claim explanation, not the summary
+
+    def test_cli_explain_every_rule(self, capsys):
+        for rule in all_rules():
+            assert lint_main(["--explain", rule.rule_id]) == 0
+        capsys.readouterr()
+
+    def test_cli_explain_unknown_rule(self, capsys):
+        assert lint_main(["--explain", "DIT999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_changed_restricts_reporting(self, capsys, monkeypatch):
+        from repro.devtools.lint import cli as cli_module
+
+        bad = FIXTURES / "datagen" / "bad_rng.py"
+        rel = bad.relative_to(Path.cwd()).as_posix() if bad.is_relative_to(Path.cwd()) else str(bad)
+        monkeypatch.setattr(cli_module, "changed_files", lambda root=None: set())
+        assert lint_main([str(bad), "--no-baseline", "--changed"]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr(cli_module, "changed_files", lambda root=None: {rel})
+        assert lint_main([str(bad), "--no-baseline", "--changed"]) == 1
+        capsys.readouterr()
+
+
+# --------------------------------------------------------------------- #
 # the acceptance bar: the tree itself lints clean
 # --------------------------------------------------------------------- #
 
+LINTED_TREES = [REPO_ROOT / "src", REPO_ROOT / "benchmarks", REPO_ROOT / "examples"]
+
+
 class TestRepositoryIsClean:
-    def test_src_has_no_unsuppressed_findings(self):
+    def test_tree_has_no_unsuppressed_findings(self):
+        """src, benchmarks and examples — including the linter itself —
+        lint clean in one project (the CI invocation)."""
         baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
-        result = lint_paths([REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT)
+        result = lint_paths(LINTED_TREES, baseline=baseline, root=REPO_ROOT)
         assert result.ok, "\n".join(f.render() for f in result.findings)
 
     def test_baseline_carries_no_stale_entries(self):
         """Entries that no longer match any finding should be deleted."""
         baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
-        result = lint_paths([REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT)
+        result = lint_paths(LINTED_TREES, baseline=baseline, root=REPO_ROOT)
         assert len(result.baselined) == len(baseline.entries)
+
+    def test_every_suppression_carries_a_reason(self):
+        """DIT012 never fires on the tree: every inline suppression has a
+        '-- reason' trailer (and the baseline loader already rejects
+        entries without a justification)."""
+        result = lint_paths(LINTED_TREES, root=REPO_ROOT)
+        bare = [f for f in result.findings if f.rule_id == "DIT012"]
+        assert bare == [], "\n".join(f.render() for f in bare)
