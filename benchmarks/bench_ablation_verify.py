@@ -40,19 +40,18 @@ def run():
             use_mbr_coverage=use_mbr,
             use_cell_filter=use_cells,
         )
-        searcher = LocalSearcher(trie, adapter, verifier)
         stats = VerifyStats()
         start = time.perf_counter()
         n_matches = 0
+        block = trie.batch_block()
         for q in queries:
-            candidates = trie.filter_candidates(q.points, TAU, adapter)
+            cand_rows = trie.filter_candidates(q.points, TAU, adapter)
             q_data = VerificationData.of(q, cfg.cell_size)
-            for t in candidates:
-                d = verifier.verify(
-                    t, q, TAU, trie.verification.get(t.traj_id), q_data, stats
+            n_matches += len(
+                verifier.verify_rows(
+                    block, trie.dataset, cand_rows, q.points, TAU, q_data, stats=stats
                 )
-                if d <= TAU:
-                    n_matches += 1
+            )
         elapsed = (time.perf_counter() - start) / len(queries) * 1000
         rows.append((label, stats, elapsed, n_matches))
     return rows

@@ -53,6 +53,7 @@ from repro.distances import (
 )
 from repro.kernels import TrajectoryBlock, batch_cell_bounds, batch_mbr_coverage
 from repro.core.numerics import slack
+from repro.storage.columnar import ColumnarDataset
 
 FULL_LENGTHS = [64, 128, 256, 512]
 SMOKE_LENGTHS = [32, 64]
@@ -134,14 +135,14 @@ def bench_batch_filter(n_trajs: int, reps: int) -> Dict[str, float]:
     """The Lemma 5.4 + 5.6 filter stages over a whole candidate list:
     per-pair loop vs. the stacked matrix path on identical inputs."""
     data = list(beijing_like(n_trajs, seed=7))
+    dataset = ColumnarDataset.from_trajectories(data)
     verification = {t.traj_id: VerificationData.of(t, CELL_SIZE) for t in data}
-    block = TrajectoryBlock.from_verification(verification)
+    block = TrajectoryBlock.from_columnar(dataset, CELL_SIZE)
     q = data[0]
     q_data = verification[q.traj_id]
     tau = 0.01
     tau_s = slack(tau)
-    ids = [t.traj_id for t in data]
-    rows = block.rows_for(ids)
+    rows = dataset.alive_rows()
 
     def loop() -> int:
         kept = 0

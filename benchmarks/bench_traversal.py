@@ -79,9 +79,9 @@ def bench_filter(sizes: List[int], reps: int) -> List[Dict[str, float]]:
         def batched() -> list:
             return trie.filter_candidates_batch(queries, taus, adapter)
 
-        expect = [sorted(t.traj_id for t in c) for c in ref()]
+        expect = [sorted(trie.dataset.ids_of(c)) for c in ref()]
         for variant in (single, batched):
-            got = [sorted(t.traj_id for t in c) for c in variant()]
+            got = [sorted(trie.dataset.ids_of(c)) for c in variant()]
             assert got == expect, "frontier filter disagrees with the reference walk"
 
         ref_s = best_of(ref, reps)

@@ -22,11 +22,13 @@ from .core.config import DITAConfig
 from .core.engine import DITAEngine
 from .distances import available_distances, get_distance
 from .obs import MetricsRegistry, Tracer
+from .storage import ColumnarDataset, TrajectoryStore, build_store
 from .trajectory import Trajectory, TrajectoryDataset
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ColumnarDataset",
     "DITAConfig",
     "DITAEngine",
     "FaultPlan",
@@ -37,6 +39,8 @@ __all__ = [
     "Tracer",
     "Trajectory",
     "TrajectoryDataset",
+    "TrajectoryStore",
     "available_distances",
+    "build_store",
     "get_distance",
 ]

@@ -9,6 +9,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli knn trips.jsonl --query-id 7 --k 5
     python -m repro.cli cluster trips.jsonl --tau 0.003 --min-pts 3
     python -m repro.cli trace trips.jsonl --mode join --tau 0.002 --chrome trace.json
+    python -m repro.cli store build trips.jsonl --out trips.store --groups 8
+    python -m repro.cli store inspect trips.store
+    python -m repro.cli store verify trips.store
     python -m repro.cli lint src/
 
 Datasets are JSON-lines files (see :mod:`repro.trajectory.io`).
@@ -160,6 +163,47 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store_build(args: argparse.Namespace) -> int:
+    from .storage.store import build_store
+    from .trajectory import load_csv_columnar, load_jsonl_columnar
+
+    loader = load_csv_columnar if args.dataset.endswith(".csv") else load_jsonl_columnar
+    data = loader(args.dataset)
+    store = build_store(data, args.out, n_groups=args.groups)
+    total = sum(f.stat().st_size for f in store.path.rglob("*") if f.is_file())
+    print(
+        f"wrote {len(store)} partitions ({store.n_trajectories} trajectories, "
+        f"{store.n_points} points, {total / 1e6:.2f} MB) to {args.out}"
+    )
+    return 0
+
+
+def cmd_store_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from .storage.store import StorageError, TrajectoryStore
+
+    try:
+        store = TrajectoryStore.open(args.store)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(store.describe(), indent=2))
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    from .storage.store import StorageError, TrajectoryStore
+
+    try:
+        TrajectoryStore.open(args.store, verify=True)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.store}: all block checksums match the catalog")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .devtools.lint.cli import run_lint
 
@@ -221,6 +265,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chrome", help="write a chrome://tracing events file")
     _add_engine_args(p)
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("store", help="build / inspect / verify a persisted columnar store")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    q = store_sub.add_parser("build", help="partition a dataset file into a store directory")
+    q.add_argument("dataset", help=".csv or .jsonl dataset file")
+    q.add_argument("--out", required=True, help="store directory to create")
+    q.add_argument("--groups", type=int, default=8, help="NG, partition groups")
+    q.set_defaults(fn=cmd_store_build)
+    q = store_sub.add_parser("inspect", help="print the catalog summary (no block bytes read)")
+    q.add_argument("store")
+    q.set_defaults(fn=cmd_store_inspect)
+    q = store_sub.add_parser("verify", help="check every block's CRC32 against the catalog")
+    q.add_argument("store")
+    q.set_defaults(fn=cmd_store_verify)
 
     p = sub.add_parser("lint", help="run the ditalint static-analysis suite")
     from .devtools.lint.cli import add_lint_arguments

@@ -4,16 +4,19 @@
 ``RandomPartitioner`` is the strawman the paper compares against in
 Figure 13 (random assignment, so similar trajectories scatter and every
 partition is relevant to every query).
+
+Both operate on the columnar summary arrays and return one compact
+:class:`~repro.storage.columnar.ColumnarDataset` per partition.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Iterable, List
 
 import numpy as np
 
 from ..core.global_index import partition_trajectories
-from ..trajectory.trajectory import Trajectory
+from ..storage.columnar import ColumnarDataset
 
 
 class DITAPartitioner:
@@ -24,7 +27,7 @@ class DITAPartitioner:
             raise ValueError("n_groups must be >= 1")
         self.n_groups = n_groups
 
-    def partition(self, trajectories: Sequence[Trajectory]) -> List[List[Trajectory]]:
+    def partition(self, trajectories: Iterable) -> List[ColumnarDataset]:
         return partition_trajectories(trajectories, self.n_groups)
 
 
@@ -37,11 +40,10 @@ class RandomPartitioner:
         self.n_partitions = n_partitions
         self.seed = seed
 
-    def partition(self, trajectories: Sequence[Trajectory]) -> List[List[Trajectory]]:
-        trajs = list(trajectories)
+    def partition(self, trajectories: Iterable) -> List[ColumnarDataset]:
+        data = ColumnarDataset.from_trajectories(trajectories)
+        alive = data.alive_rows()
         rng = np.random.default_rng(self.seed)
-        assign = rng.integers(0, self.n_partitions, size=len(trajs))
-        parts: List[List[Trajectory]] = [[] for _ in range(self.n_partitions)]
-        for t, p in zip(trajs, assign.tolist()):
-            parts[p].append(t)
-        return [p for p in parts if p]
+        assign = rng.integers(0, self.n_partitions, size=int(alive.shape[0]))
+        parts = [data.subset(alive[assign == p]) for p in range(self.n_partitions)]
+        return [p for p in parts if len(p)]

@@ -14,7 +14,7 @@ from .bounds import amd, mbr_accumulated_min_dist, opamd, pamd
 from .config import DITAConfig
 from .costmodel import BiEdge, OrientationPlan, divide_partitions, orient_edges, plan_join
 from .engine import DITAEngine
-from .global_index import GlobalIndex, PartitionInfo, partition_trajectories
+from .global_index import GlobalIndex, PartitionInfo, partition_info, partition_trajectories
 from .join import JoinExecutor, JoinPair, JoinStats
 from .knn import knn_join, knn_search
 from .pivots import available_strategies, indexing_points, pivot_indices
@@ -58,6 +58,7 @@ __all__ = [
     "opamd",
     "orient_edges",
     "pamd",
+    "partition_info",
     "partition_trajectories",
     "pivot_indices",
     "plan_join",

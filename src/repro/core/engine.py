@@ -5,6 +5,12 @@ the global index, one trie per partition and the verification artifacts —
 exactly the state a Spark driver plus its executors would hold — and runs
 searches and joins on a simulated cluster.
 
+Every partition is a :class:`~repro.storage.columnar.ColumnarDataset` (one
+contiguous CSR block, possibly memory-mapped from a persisted
+:class:`~repro.storage.store.TrajectoryStore`); the search/join/kNN hot
+paths move dataset *rows* through the kernels and materialize
+``Trajectory`` objects only for accepted results.
+
 Typical use::
 
     from repro import DITAEngine, DITAConfig
@@ -15,25 +21,40 @@ Typical use::
     query = sample_queries(data, 1)[0]
     matches = engine.search(query, tau=0.005)          # [(Trajectory, dist)]
     pairs = engine.join(engine, tau=0.002)             # [(id, id, dist)]
+
+Or, cold-starting from a persisted store (no parsing, no partitioning, no
+summary computation — blocks load lazily, and partitions the global index
+prunes are never read at all)::
+
+    engine = DITAEngine.from_store(TrajectoryStore.open("trips.store"))
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..cluster.clock import Stopwatch, wall_clock
 from ..cluster.simulator import Cluster
 from ..obs import MetricsRegistry
 from ..geometry.mbr import MBR
+from ..storage.columnar import ColumnarDataset
 from ..trajectory.trajectory import Trajectory
 from .adapters import IndexAdapter, get_adapter
 from .config import DITAConfig
-from .global_index import GlobalIndex, partition_trajectories
+from .global_index import GlobalIndex, PartitionInfo, partition_info, partition_trajectories
 from .join import JoinExecutor, JoinPair, JoinStats
 from .search import LocalSearcher, Match, SearchStats
 from .trie import TrieIndex
 from .verify import VerificationData
+
+
+def _resolve_adapter(distance: "str | IndexAdapter", config: DITAConfig) -> IndexAdapter:
+    if isinstance(distance, str):
+        if distance in ("dtw", "frechet"):
+            return get_adapter(distance, use_suffix_pruning=config.use_suffix_pruning)
+        return get_adapter(distance)
+    return distance
 
 
 class DITAEngine:
@@ -42,7 +63,8 @@ class DITAEngine:
     Parameters
     ----------
     dataset:
-        The trajectories to index.
+        The trajectories to index: a ``ColumnarDataset`` (adopted without
+        copying) or any iterable of :class:`Trajectory`.
     config:
         Index and planner parameters (defaults are sensible for ~10^3-10^4
         trajectories; scale ``num_global_partitions`` with data size).
@@ -60,28 +82,27 @@ class DITAEngine:
 
     def __init__(
         self,
-        dataset: Iterable[Trajectory],
+        dataset: "ColumnarDataset | Iterable[Trajectory]",
         config: Optional[DITAConfig] = None,
         distance: "str | IndexAdapter" = "dtw",
         cluster: Optional[Cluster] = None,
         clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.config = config or DITAConfig()
-        if isinstance(distance, str):
-            self.adapter = get_adapter(
-                distance, use_suffix_pruning=self.config.use_suffix_pruning
-            ) if distance in ("dtw", "frechet") else get_adapter(distance)
-        else:
-            self.adapter = distance
-        trajs = list(dataset)
-        if not trajs:
+        self.adapter = _resolve_adapter(distance, self.config)
+        data = ColumnarDataset.from_trajectories(dataset)
+        if len(data) == 0:
             raise ValueError("cannot index an empty dataset")
         watch = Stopwatch(clock or wall_clock)
-        raw_partitions = partition_trajectories(trajs, self.config.num_global_partitions)
+        raw_partitions = partition_trajectories(data, self.config.num_global_partitions)
         self.global_index = GlobalIndex(raw_partitions, self.config)
-        self.partitions: Dict[int, List[Trajectory]] = {
-            pid: list(part) for pid, part in enumerate(raw_partitions) if part
+        #: per-partition columnar blocks; each trie shares its partition's
+        #: dataset instance, so updates stay consistent by construction
+        self.partitions: Dict[int, ColumnarDataset] = {
+            pid: part for pid, part in enumerate(raw_partitions) if len(part)
         }
+        self._store = None
+        self._unloaded: Set[int] = set()
         self.tries: Dict[int, TrieIndex] = {
             pid: TrieIndex(part, self.config) for pid, part in self.partitions.items()
         }
@@ -90,18 +111,64 @@ class DITAEngine:
         for trie in self.tries.values():
             trie.batch_block()
         self.build_time_s = watch.elapsed()
+        self._finish_init(cluster)
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        config: Optional[DITAConfig] = None,
+        distance: "str | IndexAdapter" = "dtw",
+        cluster: Optional[Cluster] = None,
+        clock: Optional[Callable[[], float]] = None,
+        lazy: bool = True,
+    ) -> "DITAEngine":
+        """Cold-start an engine from a persisted
+        :class:`~repro.storage.store.TrajectoryStore`.
+
+        The store's partitioning is adopted as-is: the global index is
+        built from catalog metadata alone (no block bytes touched), and
+        with ``lazy=True`` each partition's memory-mapped block — and its
+        trie — is loaded only when a search, join or update first reaches
+        it, so globally-pruned partitions are never read from disk.
+        Results and stats are identical to ``lazy=False`` (and to an
+        engine built from the same trajectories with the store's
+        ``n_groups`` as ``num_global_partitions``).
+        """
+        self = cls.__new__(cls)
+        self.config = config or DITAConfig()
+        self.adapter = _resolve_adapter(distance, self.config)
+        if store.n_trajectories == 0:
+            raise ValueError("cannot index an empty store")
+        watch = Stopwatch(clock or wall_clock)
+        self.global_index = GlobalIndex.from_infos(
+            [_info_from_store_meta(store.metas[pid]) for pid in sorted(store.metas)],
+            self.config,
+        )
+        self._store = store
+        self.partitions = {}
+        self.tries = {}
+        self._unloaded = set(store.metas)
+        if not lazy:
+            for pid in sorted(store.metas):
+                self._ensure_loaded(pid)
+        self.build_time_s = watch.elapsed()
+        self._finish_init(cluster)
+        return self
+
+    def _finish_init(self, cluster: Optional[Cluster]) -> None:
         self.verifier = self.adapter.make_verifier(
             use_mbr_coverage=self.config.use_mbr_coverage,
             use_cell_filter=self.config.use_cell_filter,
         )
         if cluster is None:
-            cluster = Cluster(n_workers=min(16, max(1, len(self.partitions))))
+            cluster = Cluster(n_workers=min(16, max(1, self.n_partitions)))
         self.cluster = cluster
         if self.config.use_fault_injection and cluster.faults is None:
             cluster.install_faults(self.config.fault_plan(), self.config.recovery_policy())
         # left engine partitions occupy [0, n); a right engine in a join is
         # offset by n (JoinExecutor._cluster_pid)
-        cluster.place_partitions(sorted(self.partitions))
+        cluster.place_partitions(self.partition_pids())
         self._searchers: Dict[int, LocalSearcher] = {
             pid: LocalSearcher(trie, self.adapter, self.verifier)
             for pid, trie in self.tries.items()
@@ -111,6 +178,45 @@ class DITAEngine:
         self.metrics: Optional[MetricsRegistry] = None
         if self.config.use_tracing:
             self.enable_tracing()
+
+    # ------------------------------------------------------------------ #
+    # partition access (lazy for store-backed engines)
+    # ------------------------------------------------------------------ #
+
+    def partition_pids(self) -> List[int]:
+        """Every partition id, loaded or not, ascending."""
+        return sorted(set(self.partitions) | self._unloaded)
+
+    def _ensure_loaded(self, pid: int) -> None:
+        if pid in self.tries or pid not in self._unloaded:
+            return
+        part = self._store.partition(pid)
+        self.partitions[pid] = part
+        self.tries[pid] = TrieIndex(part, self.config)
+        self._unloaded.discard(pid)
+
+    def partition(self, pid: int) -> ColumnarDataset:
+        """The partition's columnar block (loads a store block on demand)."""
+        if pid not in self.partitions:
+            self._ensure_loaded(pid)
+        return self.partitions[pid]
+
+    def trie(self, pid: int) -> TrieIndex:
+        """The partition's local index (built on demand for store blocks)."""
+        if pid not in self.tries:
+            self._ensure_loaded(pid)
+        return self.tries[pid]
+
+    def _searcher(self, pid: int) -> Optional[LocalSearcher]:
+        """The partition's searcher, or None when the pid is unknown."""
+        s = self._searchers.get(pid)
+        if s is not None:
+            return s
+        if pid not in self.tries and pid not in self._unloaded:
+            return None
+        s = LocalSearcher(self.trie(pid), self.adapter, self.verifier)
+        self._searchers[pid] = s
+        return s
 
     # ------------------------------------------------------------------ #
     # observability (repro.obs)
@@ -175,14 +281,14 @@ class DITAEngine:
         when a worker crashes, the surviving worker that inherits a
         partition re-runs its local index build *for real* (deterministic,
         so post-recovery answers are identical) and is charged for it."""
-        for pid, part in self.partitions.items():
+        for pid in self.partition_pids():
             cluster.register_rebuild(
-                offset + pid, self._make_rebuild(pid), work=len(part)
+                offset + pid, self._make_rebuild(pid), work=self.global_index.meta(pid).size
             )
 
     def _make_rebuild(self, pid: int) -> Callable[[], None]:
         def rebuild() -> None:
-            part = self.partitions[pid]
+            part = self.partition(pid)
             trie = TrieIndex(part, self.config)
             trie.batch_block()
             self.tries[pid] = trie
@@ -200,13 +306,25 @@ class DITAEngine:
 
     @property
     def n_partitions(self) -> int:
-        return len(self.partitions)
+        return len(self.partitions) + len(self._unloaded)
 
     def __len__(self) -> int:
-        return sum(len(p) for p in self.partitions.values())
+        return sum(m.size for m in self.global_index.partitions_meta)
+
+    def trajectory(self, traj_id: int) -> Trajectory:
+        """Materialize one trajectory by id (KeyError when absent) — the
+        boundary accessor result rendering uses; hot paths never call it."""
+        for pid in self.partition_pids():
+            part = self.partition(pid)
+            if traj_id in part:
+                return part.by_id(traj_id)
+        raise KeyError(traj_id)
 
     def index_size_bytes(self) -> Tuple[int, int]:
-        """(global index bytes, total local index bytes) — Table 5 metric."""
+        """(global index bytes, total local index bytes) — Table 5 metric.
+
+        For a lazily-loaded store engine, only materialized local indexes
+        are counted (unloaded partitions hold no index yet)."""
         local = sum(trie.size_bytes() for trie in self.tries.values())
         return self.global_index.size_bytes(), local
 
@@ -220,9 +338,10 @@ class DITAEngine:
         Routing picks the partition whose first/last-point MBR pair needs
         the least enlargement; the partition's align MBRs grow accordingly
         and the (small) global R-trees are rebuilt, so search and join stay
-        exact after any number of inserts.
+        exact after any number of inserts.  (On a store-backed engine this
+        forces every block to load — updates need the full id set.)
         """
-        if any(traj.traj_id in {t.traj_id for t in p} for p in self.partitions.values()):
+        if any(traj.traj_id in self.partition(pid) for pid in self.partition_pids()):
             raise ValueError(f"trajectory id {traj.traj_id} already present")
 
         def enlargement(meta) -> float:
@@ -234,32 +353,39 @@ class DITAEngine:
 
         meta = min(self.global_index.partitions_meta, key=lambda m: (enlargement(m), m.partition_id))
         pid = meta.partition_id
-        self.partitions[pid].append(traj)
-        self.tries[pid].insert(traj)
+        # the trie appends to its (shared) partition dataset itself
+        self.trie(pid).insert(traj)
         self._refresh_global_index()
 
     def remove(self, traj_id: int) -> bool:
         """Remove a trajectory by id from the live index (False if absent)."""
-        for pid, part in self.partitions.items():
-            for i, t in enumerate(part):
-                if t.traj_id == traj_id:
-                    del part[i]
-                    self.tries[pid].remove(traj_id)
-                    if not part:
-                        del self.partitions[pid]
-                        del self.tries[pid]
-                        del self._searchers[pid]
-                    self._refresh_global_index()
-                    return True
+        for pid in self.partition_pids():
+            part = self.partition(pid)
+            if traj_id not in part:
+                continue
+            self.trie(pid).remove(traj_id)
+            if len(part) == 0:
+                del self.partitions[pid]
+                del self.tries[pid]
+                self._searchers.pop(pid, None)
+            self._refresh_global_index()
+            return True
         return False
 
     def _refresh_global_index(self) -> None:
         """Rebuild the master-side metadata after an update (cheap: two
         R-trees over at most NG^2 partition MBRs)."""
-        max_pid = max(self.partitions) if self.partitions else 0
-        ordered = [self.partitions.get(pid, []) for pid in range(max_pid + 1)]
-        self.global_index = GlobalIndex(ordered, self.config)
-        self.cluster.place_partitions(sorted(self.partitions))
+        infos: List[PartitionInfo] = []
+        for pid in self.partition_pids():
+            if pid in self.partitions:
+                part = self.partitions[pid]
+                if len(part) == 0:
+                    continue
+                infos.append(partition_info(pid, part))
+            else:
+                infos.append(_info_from_store_meta(self._store.metas[pid]))
+        self.global_index = GlobalIndex.from_infos(infos, self.config)
+        self.cluster.place_partitions(self.partition_pids())
         self._searchers = {
             pid: LocalSearcher(self.tries[pid], self.adapter, self.verifier)
             for pid in self.tries
@@ -293,9 +419,9 @@ class DITAEngine:
             q_data = VerificationData.of(query, self.config.cell_size)
             matches: List[Match] = []
             for pid in relevant:
-                if pid not in self._searchers:
+                searcher = self._searcher(pid)
+                if searcher is None:
                     continue
-                searcher = self._searchers[pid]
                 # a fresh stats object per task: partitions must not share
                 # one accumulator (the batch filter *assigns* its candidate
                 # count), and the tracer needs per-task stage weights
@@ -305,7 +431,7 @@ class DITAEngine:
                     lambda s=searcher, ts=task_stats: s.search(
                         query, tau, query_data=q_data, stats=ts
                     ),
-                    work=len(self.partitions[pid]),
+                    work=self.global_index.meta(pid).size,
                     tag="search.partition",
                 )
                 if task_stats is not None:
@@ -329,10 +455,30 @@ class DITAEngine:
     ) -> List[List[Match]]:
         """Batched distributed search: one result list per query.
 
+        Object-facing wrapper over :meth:`search_batch_rows` — accepted
+        rows, and only those, are materialized as ``Trajectory`` views.
+        Results are identical to looping :meth:`search`.
+        """
+        row_results = self.search_batch_rows(queries, taus, stats)
+        return [
+            [(self.partition(pid).view(row), d) for pid, row, d in matches]
+            for matches in row_results
+        ]
+
+    def search_batch_rows(
+        self,
+        queries: List[Trajectory],
+        taus: List[float],
+        stats: Optional[List[Optional[SearchStats]]] = None,
+    ) -> List[List[Tuple[int, int, float]]]:
+        """The row-native batched search: accepted ``(pid, dataset row,
+        distance)`` triples per query, no ``Trajectory`` materialized
+        anywhere on the path.
+
         Queries are grouped by relevant partition, and each partition
         answers all of its queries in one frontier sweep over the columnar
         trie (one simulated task per partition, charged for the whole
-        group).  Results are identical to looping :meth:`search`.
+        group).
         """
         if len(queries) != len(taus):
             raise ValueError("queries and taus must have equal length")
@@ -353,22 +499,23 @@ class DITAEngine:
                     internal[i].relevant_partitions += len(relevant)
                 q_datas.append(VerificationData.of(query, self.config.cell_size))
                 for pid in relevant:
-                    if pid in self._searchers:
-                        by_pid.setdefault(pid, []).append(i)
-            results: List[List[Match]] = [[] for _ in queries]
+                    by_pid.setdefault(pid, []).append(i)
+            results: List[List[Tuple[int, int, float]]] = [[] for _ in queries]
             for pid in sorted(by_pid):
                 idxs = by_pid[pid]
-                searcher = self._searchers[pid]
+                searcher = self._searcher(pid)
+                if searcher is None:
+                    continue
                 task_stats = [SearchStats() for _ in idxs] if track else None
                 local = self.cluster.run_local(
                     pid,
-                    lambda s=searcher, ix=idxs, ts=task_stats: s.search_batch(
-                        [queries[i] for i in ix],
+                    lambda s=searcher, ix=idxs, ts=task_stats: s.search_rows_batch(
+                        [queries[i].points for i in ix],
                         [taus[i] for i in ix],
                         [q_datas[i] for i in ix],
                         ts,
                     ),
-                    work=len(self.partitions[pid]) * len(idxs),
+                    work=self.global_index.meta(pid).size * len(idxs),
                     tag="search.partition",
                 )
                 if task_stats is not None:
@@ -380,7 +527,7 @@ class DITAEngine:
                     for i, ts in zip(idxs, task_stats):
                         internal[i].merge(ts)
                 for i, matches in zip(idxs, local):
-                    results[i].extend(matches)
+                    results[i].extend((pid, row, d) for row, d in matches)
         if internal is not None:
             if stats is not None:
                 for i, s in enumerate(stats):
@@ -401,11 +548,12 @@ class DITAEngine:
     def count_candidates(self, query: Trajectory, tau: float) -> int:
         """Total trie candidates across relevant partitions (Fig 17 metric)."""
         relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
-        return sum(
-            self._searchers[pid].count_candidates(query, tau)
-            for pid in relevant
-            if pid in self._searchers
-        )
+        total = 0
+        for pid in relevant:
+            searcher = self._searcher(pid)
+            if searcher is not None:
+                total += searcher.count_candidates(query, tau)
+        return total
 
     # ------------------------------------------------------------------ #
     # join (Section 6)
@@ -430,8 +578,8 @@ class DITAEngine:
         # a joint cluster namespace: re-place both engines' partitions and
         # register both sides' lineage closures under the joint ids
         cluster = self.cluster
-        left_pids = sorted(self.partitions)
-        right_pids = [self.n_partitions + pid for pid in sorted(other.partitions)]
+        left_pids = self.partition_pids()
+        right_pids = [self.n_partitions + pid for pid in other.partition_pids()]
         cluster.place_partitions(left_pids + right_pids)
         self._register_rebuilds(cluster)
         other._register_rebuilds(cluster, offset=self.n_partitions)
@@ -460,3 +608,16 @@ class DITAEngine:
                 seen.add(key)
                 out.append((key[0], key[1], d))
         return out
+
+
+def _info_from_store_meta(meta) -> PartitionInfo:
+    """Catalog :class:`~repro.storage.store.PartitionMeta` → master-side
+    :class:`PartitionInfo` (no block bytes touched)."""
+    return PartitionInfo(
+        partition_id=meta.partition_id,
+        mbr_first=meta.mbr_first,
+        mbr_last=meta.mbr_last,
+        size=meta.n_trajectories,
+        nbytes=meta.nbytes,
+        min_len=meta.min_len,
+    )

@@ -3,9 +3,12 @@
 Trajectories are STR-grouped into ``NG`` buckets by first point, each bucket
 STR-grouped into ``NG`` sub-buckets by last point; every sub-bucket is a
 partition (so similar trajectories land together and partitions hold
-roughly equal counts).  The global index is a pair of R-trees over each
-partition's first-point MBR (``MBR_f``) and last-point MBR (``MBR_l``);
-pruning keeps partitions with
+roughly equal counts).  Partitioning and the per-partition metadata are
+computed straight from the columnar summary arrays
+(:class:`~repro.storage.columnar.ColumnarDataset`) — no trajectory objects
+are iterated anywhere on this path.  The global index is a pair of R-trees
+over each partition's first-point MBR (``MBR_f``) and last-point MBR
+(``MBR_l``); pruning keeps partitions with
 
 ``MinDist(q1, MBR_f) + MinDist(qn, MBR_l) <= tau``
 
@@ -18,13 +21,13 @@ keep partitions whose combined unmatched count exceeds the edit budget).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..geometry.mbr import MBR
 from ..spatial.rtree import RTree
-from ..trajectory.trajectory import Trajectory
+from ..storage.columnar import ColumnarDataset
 from .adapters import IndexAdapter
 from .config import DITAConfig
 from .numerics import slack
@@ -46,58 +49,72 @@ class PartitionInfo:
     min_len: int = 2
 
 
-def partition_trajectories(
-    dataset: Sequence[Trajectory], n_groups: int
-) -> List[List[Trajectory]]:
+def partition_info(partition_id: int, part: ColumnarDataset) -> PartitionInfo:
+    """The master-side metadata of one partition, straight from the
+    dataset's vectorized summary arrays.  The partition must be non-empty."""
+    alive = part.alive_rows()
+    firsts = part.firsts[alive]
+    lasts = part.lasts[alive]
+    return PartitionInfo(
+        partition_id=partition_id,
+        mbr_first=MBR.of_points(firsts),
+        mbr_last=MBR.of_points(lasts),
+        size=int(alive.shape[0]),
+        nbytes=part.nbytes(),
+        min_len=int(part.lengths[alive].min()),
+    )
+
+
+def partition_trajectories(dataset, n_groups: int) -> List[ColumnarDataset]:
     """First/last-point STR partitioning into up to ``n_groups**2`` partitions.
 
     Groups by first point into ``n_groups`` rank-balanced buckets (STR on
     the first axis, then the second), then each bucket by last point.
-    Every trajectory is assigned to exactly one partition.
+    Every trajectory is assigned to exactly one partition.  ``dataset`` is
+    a :class:`ColumnarDataset` or any iterable of trajectories (packed into
+    one); the result is one compact dataset per partition, sliced with a
+    single vectorized gather.
     """
-    trajs = list(dataset)
-    if not trajs:
-        return []
-    firsts = np.asarray([t.first for t in trajs])
-    partitions: List[List[Trajectory]] = []
-    from ..spatial.str_pack import str_partition
+    data = ColumnarDataset.from_trajectories(dataset)
+    from ..storage.columnar import partition_rows
 
-    for bucket_idx in str_partition(firsts, n_groups):
-        bucket = [trajs[i] for i in bucket_idx.tolist()]
-        lasts = np.asarray([t.last for t in bucket])
-        for sub_idx in str_partition(lasts, n_groups):
-            partitions.append([bucket[i] for i in sub_idx.tolist()])
-    return partitions
+    return [data.subset(rows) for rows in partition_rows(data, n_groups)]
 
 
 class GlobalIndex:
     """The master-side index over partition MBRs."""
 
-    def __init__(self, partitions: Sequence[Sequence[Trajectory]], config: Optional[DITAConfig] = None) -> None:
-        self.config = config or DITAConfig()
-        self.partitions_meta: List[PartitionInfo] = []
-        entries_f: List[Tuple[MBR, int]] = []
-        entries_l: List[Tuple[MBR, int]] = []
+    def __init__(self, partitions: Sequence, config: Optional[DITAConfig] = None) -> None:
+        infos = []
         for pid, part in enumerate(partitions):
-            part = list(part)
-            if not part:
+            part = ColumnarDataset.from_trajectories(part)
+            if len(part) == 0:
                 continue
-            firsts = np.asarray([t.first for t in part])
-            lasts = np.asarray([t.last for t in part])
-            info = PartitionInfo(
-                partition_id=pid,
-                mbr_first=MBR.of_points(firsts),
-                mbr_last=MBR.of_points(lasts),
-                size=len(part),
-                nbytes=sum(t.nbytes() for t in part),
-                min_len=min(len(t) for t in part),
-            )
-            self.partitions_meta.append(info)
-            entries_f.append((info.mbr_first, pid))
-            entries_l.append((info.mbr_last, pid))
+            infos.append(partition_info(pid, part))
+        self._init_from_infos(infos, config)
+
+    @classmethod
+    def from_infos(
+        cls, infos: Sequence[PartitionInfo], config: Optional[DITAConfig] = None
+    ) -> "GlobalIndex":
+        """Build the master-side index from precomputed partition metadata
+        (e.g. a persisted store's catalog) — no partition bytes touched."""
+        self = cls.__new__(cls)
+        self._init_from_infos(list(infos), config)
+        return self
+
+    def _init_from_infos(
+        self, infos: List[PartitionInfo], config: Optional[DITAConfig]
+    ) -> None:
+        self.config = config or DITAConfig()
+        self.partitions_meta = infos
         fanout = self.config.rtree_fanout
-        self.rtree_first = RTree(entries_f, max_entries=fanout)
-        self.rtree_last = RTree(entries_l, max_entries=fanout)
+        self.rtree_first = RTree(
+            [(m.mbr_first, m.partition_id) for m in infos], max_entries=fanout
+        )
+        self.rtree_last = RTree(
+            [(m.mbr_last, m.partition_id) for m in infos], max_entries=fanout
+        )
         self._meta_by_id = {m.partition_id: m for m in self.partitions_meta}
 
     # ------------------------------------------------------------------ #

@@ -5,17 +5,24 @@ The planner builds the partition-pair bi-graph with sampled ``trans``/
 balancing; the executor then ships only trajectories that have candidates
 on the other side and runs local trie joins, charging compute and network
 to the simulated cluster.
+
+The whole path is row-native: senders are selected as row arrays over each
+partition's columnar dataset (one vectorized endpoint-distance filter per
+edge), shipped rows are verified through
+:meth:`~repro.core.search.LocalSearcher.search_rows_batch`, and result ids
+are read straight from the id columns — no ``Trajectory`` object is
+materialized anywhere in the join.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..cluster.simulator import Cluster
-from ..trajectory.trajectory import Trajectory
+from ..storage.columnar import ColumnarDataset
 from .adapters import IndexAdapter
 from .config import DITAConfig
 from .costmodel import BiEdge, Node, OrientationPlan, plan_join
@@ -57,23 +64,27 @@ class JoinStats:
         self.plan = other.plan
 
 
-def _relevant(
-    t: Trajectory, meta, tau: float, adapter: IndexAdapter
-) -> bool:
-    """Trajectory-to-partition relevance: may ``t`` have matches in the
-    partition described by ``meta``?  Sound for the additive (DTW-family)
-    and max-accumulating (Fréchet) adapters; edit distances skip it."""
+def _relevant_rows(
+    part: ColumnarDataset, rows: np.ndarray, meta, tau: float, adapter: IndexAdapter
+) -> np.ndarray:
+    """Trajectory-to-partition relevance, vectorized: the subset of ``rows``
+    (order preserved) that may have matches in the partition described by
+    ``meta``.  Sound for the additive (DTW-family) and max-accumulating
+    (Fréchet) adapters; edit distances skip it."""
     if adapter.distance_name in ("edr", "lcss", "erp", "hausdorff"):
-        return True
+        return rows
+    if rows.shape[0] == 0:
+        return rows
     tau_s = slack(tau)
-    df = meta.mbr_first.min_dist_point(t.first)
-    dl = meta.mbr_last.min_dist_point(t.last)
+    df = meta.mbr_first.min_dist_points(part.firsts[rows])
+    dl = meta.mbr_last.min_dist_points(part.lasts[rows])
     if adapter.subtracts:
-        # the endpoint sum double-counts when both sides are single points
-        if len(t) == 1 and getattr(meta, "min_len", 2) == 1:
-            return max(df, dl) <= tau_s
-        return df + dl <= tau_s
-    return df <= tau_s and dl <= tau_s
+        bound = df + dl
+        if getattr(meta, "min_len", 2) == 1:
+            # the endpoint sum double-counts when both sides are single points
+            bound = np.where(part.lengths[rows] == 1, np.maximum(df, dl), bound)
+        return rows[bound <= tau_s]
+    return rows[(df <= tau_s) & (dl <= tau_s)]
 
 
 def _partition_pair_relevant(meta_t, meta_q, tau: float, adapter: IndexAdapter) -> bool:
@@ -112,16 +123,20 @@ class JoinExecutor:
     # ------------------------------------------------------------------ #
 
     def build_edges(self, tau: float, rng: Optional[np.random.Generator] = None) -> List[BiEdge]:
-        """Sampled bi-graph construction (Section 6.2)."""
+        """Sampled bi-graph construction (Section 6.2).
+
+        Partition blocks are only touched *after* the pair-relevance check,
+        so a store-backed engine never loads partitions the planner prunes
+        for every counterpart."""
         rng = rng or np.random.default_rng(self.config.seed)
         frac = self.config.join_sample_fraction
         edges: List[BiEdge] = []
         for mt in self.left.global_index.partitions_meta:
-            t_part = self.left.partitions[mt.partition_id]
             for mq in self.right.global_index.partitions_meta:
                 if not _partition_pair_relevant(mt, mq, tau, self.adapter):
                     continue
-                q_part = self.right.partitions[mq.partition_id]
+                t_part = self.left.partition(mt.partition_id)
+                q_part = self.right.partition(mq.partition_id)
                 trans_tq, comp_tq = self._estimate(t_part, mq, self.right, tau, frac, rng)
                 trans_qt, comp_qt = self._estimate(q_part, mt, self.left, tau, frac, rng)
                 edges.append(
@@ -138,7 +153,7 @@ class JoinExecutor:
 
     def _estimate(
         self,
-        senders: Sequence[Trajectory],
+        senders: ColumnarDataset,
         receiver_meta,
         receiver_engine,
         tau: float,
@@ -147,24 +162,25 @@ class JoinExecutor:
     ) -> Tuple[float, float]:
         """Estimate (bytes shipped, candidate pairs) for one direction by
         sampling the sending partition."""
-        n = len(senders)
+        alive = senders.alive_rows()
+        n = int(alive.shape[0])
         if n == 0:
             return 0.0, 0.0
         k = max(1, int(round(n * frac)))
         idx = rng.choice(n, size=min(k, n), replace=False)
-        sampled = [senders[int(i)] for i in idx]
-        scale = n / len(sampled)
-        trie = receiver_engine.tries[receiver_meta.partition_id]
-        senders_kept = [t for t in sampled if _relevant(t, receiver_meta, tau, self.adapter)]
-        trans = float(sum(t.nbytes() for t in senders_kept))
+        sampled = alive[idx.astype(np.int64)]
+        scale = n / sampled.shape[0]
+        trie = receiver_engine.trie(receiver_meta.partition_id)
+        kept = _relevant_rows(senders, sampled, receiver_meta, tau, self.adapter)
+        trans = float(int(senders.lengths[kept].sum()) * senders.ndim * 8)
         comp = 0.0
-        if senders_kept:
+        if kept.shape[0]:
             cand_lists = trie.filter_candidates_batch(
-                [t.points for t in senders_kept],
-                [tau] * len(senders_kept),
+                [senders.points(int(r)) for r in kept],
+                [tau] * int(kept.shape[0]),
                 self.adapter,
             )
-            comp = float(sum(len(c) for c in cand_lists))
+            comp = float(sum(int(c.shape[0]) for c in cand_lists))
         return trans * scale, comp * scale
 
     def plan(self, tau: float, use_orientation: bool = True, use_division: bool = True) -> OrientationPlan:
@@ -209,74 +225,87 @@ class JoinExecutor:
         sender_data: Dict[tuple, VerificationData] = {}
         for edge in plan.edges:
             if edge.direction == "tq":
-                senders = self.left.partitions[edge.t_part]
+                senders = self.left.partition(edge.t_part)
                 send_node: Node = ("T", edge.t_part)
                 recv_node: Node = ("Q", edge.q_part)
                 recv_engine = self.right
                 recv_meta = self.right.global_index.meta(edge.q_part)
                 flip = False
             else:
-                senders = self.right.partitions[edge.q_part]
+                senders = self.right.partition(edge.q_part)
                 send_node = ("Q", edge.q_part)
                 recv_node = ("T", edge.t_part)
                 recv_engine = self.left
                 recv_meta = self.left.global_index.meta(edge.t_part)
                 flip = True
-            shipped = [t for t in senders if _relevant(t, recv_meta, tau, self.adapter)]
-            if not shipped:
+            shipped = _relevant_rows(
+                senders, senders.alive_rows(), recv_meta, tau, self.adapter
+            )
+            if shipped.shape[0] == 0:
                 continue
-            # build each shipped trajectory's verification artifacts exactly
-            # once, before chunking — the same trajectory may be queried by
-            # several division replicas and across edges in both directions
-            for t in shipped:
-                data_key = (edge.direction == "qt", t.traj_id)
+            # build each shipped row's verification artifacts exactly once,
+            # before chunking — the same row may be queried by several
+            # division replicas and across edges in both directions.  Rows
+            # are per-partition, so the key carries the sending side + pid.
+            side_pid = (edge.direction == "qt", send_node[1])
+            for r in shipped.tolist():
+                data_key = (side_pid, r)
                 if data_key not in sender_data:
-                    sender_data[data_key] = VerificationData.of(t, self.config.cell_size)
-            nbytes = sum(t.nbytes() for t in shipped)
+                    sender_data[data_key] = VerificationData.from_points(
+                        senders.points(r), self.config.cell_size
+                    )
+            nbytes = int(senders.lengths[shipped].sum()) * senders.ndim * 8
             src_pid = self._cluster_pid(send_node)
             dst_pid = self._cluster_pid(recv_node)
             # division (Section 6.3): a replicated partition's workload is
             # split into n_replicas pieces executed on distinct workers
             n_replicas = max(1, plan.replica_count(recv_node))
             self.cluster.ship(src_pid, dst_pid, nbytes)
-            js.trajectories_shipped += len(shipped)
+            js.trajectories_shipped += int(shipped.shape[0])
             js.bytes_shipped += nbytes
             searcher = LocalSearcher(
-                recv_engine.tries[recv_meta.partition_id],
+                recv_engine.trie(recv_meta.partition_id),
                 self.adapter,
                 recv_engine.verifier,
             )
             home_worker = self.cluster.worker_of(dst_pid)
             chunks = [shipped[i::n_replicas] for i in range(n_replicas)]
             for slot, chunk in enumerate(chunks):
-                if not chunk:
+                if chunk.shape[0] == 0:
                     continue
                 exec_worker = (home_worker + slot) % self.cluster.n_workers
                 chunk_stats: List[Optional[SearchStats]] = [
-                    SearchStats() for _ in chunk
+                    SearchStats() for _ in range(int(chunk.shape[0]))
                 ]
 
                 def run_chunk(
-                    chunk=chunk,
+                    rows=chunk,
+                    part=senders,
                     searcher=searcher,
                     flip=flip,
-                    direction=edge.direction,
+                    side_pid=side_pid,
                     cstats=chunk_stats,
                 ):
                     # the whole chunk rides one frontier sweep over the
-                    # receiver's columnar trie, then verifies per query
-                    datas = [sender_data[(direction == "qt", t.traj_id)] for t in chunk]
-                    taus = [tau] * len(chunk)
-                    match_lists = searcher.search_batch(chunk, taus, datas, cstats)
-                    for t, matches in zip(chunk, match_lists):
-                        for other, dist in matches:
+                    # receiver's columnar trie, then verifies per query —
+                    # rows in, rows out, ids read off the id columns
+                    row_list = rows.tolist()
+                    datas = [sender_data[(side_pid, r)] for r in row_list]
+                    q_pts = [part.points(r) for r in row_list]
+                    taus = [tau] * len(row_list)
+                    match_lists = searcher.search_rows_batch(q_pts, taus, datas, cstats)
+                    recv_ids = searcher.trie.dataset.traj_ids
+                    for r, matches in zip(row_list, match_lists):
+                        sid = int(part.traj_ids[r])
+                        for recv_row, dist in matches:
+                            rid = int(recv_ids[recv_row])
                             if flip:
-                                results.append((other.traj_id, t.traj_id, dist))
+                                results.append((rid, sid, dist))
                             else:
-                                results.append((t.traj_id, other.traj_id, dist))
+                                results.append((sid, rid, dist))
 
                 self.cluster.run_on_worker(
-                    exec_worker, run_chunk, work=len(chunk), tag="join.chunk"
+                    exec_worker, run_chunk, work=int(chunk.shape[0]), tag="join.chunk"
                 )
                 merged = SearchStats()
                 for s in chunk_stats:

@@ -13,7 +13,9 @@ bound-refinement scheme:
    index, and the filter bounds guarantee no near neighbour is missed.
 
 The result is exact: identical to brute-force top-k under the engine's
-distance function (ties broken by trajectory id).
+distance function (ties broken by trajectory id).  Candidate pools flow as
+``(dataset, row)`` pairs over the partitions' columnar blocks; only the
+final ``k`` winners are materialized as ``Trajectory`` views.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 import numpy as np
 
+from ..storage.columnar import ColumnarDataset
 from ..trajectory.trajectory import Trajectory
 from .numerics import slack
 
@@ -33,9 +36,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: one result: (trajectory, distance)
 Neighbour = Tuple[Trajectory, float]
 
+#: one pool member: (its partition's columnar dataset, its row)
+PoolEntry = Tuple[ColumnarDataset, int]
+
+
+def _full_pool(engine: "DITAEngine") -> List[PoolEntry]:
+    """Every alive (dataset, row) across the engine's partitions, by pid."""
+    pool: List[PoolEntry] = []
+    for pid in engine.partition_pids():
+        part = engine.partition(pid)
+        for r in part.alive_rows().tolist():
+            pool.append((part, r))
+    return pool
+
 
 def _exact_top_k(
-    engine: "DITAEngine", query: Trajectory, k: int, pool: Sequence[Trajectory]
+    engine: "DITAEngine", query: Trajectory, k: int, pool: Sequence[PoolEntry]
 ) -> List[Neighbour]:
     """The ``k`` nearest pool members by (distance, id), exact.
 
@@ -56,20 +72,24 @@ def _exact_top_k(
     """
     dist = engine.adapter.distance()
     exact = engine.adapter.exact
-    heap: List[Tuple[float, int, Trajectory]] = []  # max-heap via (-d, -id)
-    for t in pool:
+    # max-heap via (-d, -id); ids are unique so the (part, row) payload is
+    # never compared
+    heap: List[Tuple[float, int, ColumnarDataset, int]] = []
+    for part, row in pool:
+        tid = int(part.traj_ids[row])
+        pts = part.points(row)
         if len(heap) < k:
-            d = dist.compute(t.points, query.points)
-            heapq.heappush(heap, (-d, -t.traj_id, t))
+            d = dist.compute(pts, query.points)
+            heapq.heappush(heap, (-d, -tid, part, row))
             continue
-        neg_d, neg_id, _ = heap[0]
-        d = exact(t.points, query.points, slack(-neg_d))
+        neg_d, neg_id = heap[0][0], heap[0][1]
+        d = exact(pts, query.points, slack(-neg_d))
         if not math.isfinite(d):
             continue
-        d = dist.compute(t.points, query.points)
-        if (d, t.traj_id) < (-neg_d, -neg_id):
-            heapq.heapreplace(heap, (-d, -t.traj_id, t))
-    out = [(t, -neg_d) for neg_d, _, t in heap]
+        d = dist.compute(pts, query.points)
+        if (d, tid) < (-neg_d, -neg_id):
+            heapq.heapreplace(heap, (-d, -tid, part, row))
+    out = [(part.view(row), -neg_d) for neg_d, _, part, row in heap]
     out.sort(key=lambda m: (m[1], m[0].traj_id))
     return out
 
@@ -85,18 +105,21 @@ def _seed_tau(engine: "DITAEngine", query: Trajectory, k: int) -> Tuple[float, f
     # spend the exact-distance budget on the trajectories whose *first
     # points* are nearest the query's — similar trajectories share first
     # points, so this reliably captures near neighbours; ranking the whole
-    # dataset by first-point gap is one vectorized pass and avoids the trap
-    # of overlapping partition MBRs hiding the nearest sub-bucket
+    # dataset by first-point gap is one vectorized pass over the columnar
+    # summary arrays and avoids the trap of overlapping partition MBRs
+    # hiding the nearest sub-bucket
     budget = max(4 * k, 32)
-    owner: dict = {}
-    pool: List[Trajectory] = []
-    for pid in sorted(engine.partitions):
-        for t in engine.partitions[pid]:
-            owner[t.traj_id] = pid
-            pool.append(t)
+    pool: List[Tuple[int, ColumnarDataset, int]] = []  # (pid, dataset, row)
+    firsts_parts: List[np.ndarray] = []
+    for pid in engine.partition_pids():
+        part = engine.partition(pid)
+        alive = part.alive_rows()
+        for r in alive.tolist():
+            pool.append((pid, part, r))
+        firsts_parts.append(part.firsts[alive])
     if len(pool) < k:
         return math.inf, 0.0
-    firsts = np.asarray([t.first for t in pool])
+    firsts = np.concatenate(firsts_parts, axis=0)
     gaps = np.sqrt(np.sum((firsts - np.asarray(query.first)[None, :]) ** 2, axis=1))
     order = np.argsort(gaps, kind="stable")[:budget]
     chosen = [pool[int(i)] for i in order]
@@ -105,15 +128,18 @@ def _seed_tau(engine: "DITAEngine", query: Trajectory, k: int) -> Tuple[float, f
     # distance computation inside the task body so *any* measure hook —
     # unit-cost or wall-clock — prices the real work
     per_pid: dict = {}
-    for t in chosen:
-        per_pid.setdefault(owner[t.traj_id], []).append(t)
+    for pid, part, row in chosen:
+        per_pid.setdefault(pid, []).append((part, row))
     dist = engine.adapter.distance()
     seed_dists: List[Tuple[float, int]] = []
     for pid in sorted(per_pid):
         members = per_pid[pid]
 
         def body(ms=tuple(members)):
-            return [(dist.compute(t.points, query.points), t.traj_id) for t in ms]
+            return [
+                (dist.compute(part.points(row), query.points), int(part.traj_ids[row]))
+                for part, row in ms
+            ]
 
         seed_dists.extend(
             engine.cluster.run_local(pid, body, work=len(members), tag="knn.seed")
@@ -148,8 +174,7 @@ def _knn_search_inner(
     tau_hi, tau_lo = _seed_tau(engine, query, k)
     if not math.isfinite(tau_hi):
         # degenerate fallback: tiny dataset; rank everything
-        pool = [t for part in engine.partitions.values() for t in part]
-        return _exact_top_k(engine, query, k, pool), 0, True
+        return _exact_top_k(engine, query, k, _full_pool(engine)), 0, True
     # progressive widening: start near the 1-NN scale (never more than a
     # few doublings below tau_hi) and double toward the guaranteed-
     # sufficient radius tau_hi (the k-th seed distance) — cheap early
@@ -158,10 +183,20 @@ def _knn_search_inner(
     rounds = 0
     for _ in range(128):  # tau doubles each round; bounded by construction
         rounds += 1
-        matches = engine.search_batch([query], [tau])[0]
+        matches = engine.search_batch_rows([query], [tau])[0]
         if len(matches) >= k:
-            matches.sort(key=lambda m: (m[1], m[0].traj_id))
-            return matches[:k], rounds, False
+            scored = sorted(
+                (
+                    (d, engine.partition(pid).id_of(row), pid, row)
+                    for pid, row, d in matches
+                ),
+                key=lambda e: (e[0], e[1]),
+            )[:k]
+            return (
+                [(engine.partition(pid).view(row), d) for d, _, pid, row in scored],
+                rounds,
+                False,
+            )
         if tau >= tau_hi:
             # the k seeds lie within tau_hi, so the search at tau_hi should
             # have returned >= k; float rounding at the boundary can in
@@ -172,8 +207,7 @@ def _knn_search_inner(
                 continue
             break
         tau = min(tau * 2, tau_hi)
-    pool = [t for part in engine.partitions.values() for t in part]
-    return _exact_top_k(engine, query, k, pool), rounds, True
+    return _exact_top_k(engine, query, k, _full_pool(engine)), rounds, True
 
 
 def knn_join(left_engine, right_engine, k: int) -> List[Tuple[int, int, float]]:
@@ -183,8 +217,10 @@ def knn_join(left_engine, right_engine, k: int) -> List[Tuple[int, int, float]]:
     if k <= 0:
         raise ValueError("k must be positive")
     out: List[Tuple[int, int, float]] = []
-    for part in right_engine.partitions.values():
-        for q in part:
+    for pid in right_engine.partition_pids():
+        part = right_engine.partition(pid)
+        for row in part.alive_rows().tolist():
+            q = part.view(row)
             for t, d in knn_search(left_engine, q, k):
                 out.append((t.traj_id, q.traj_id, d))
     out.sort(key=lambda r: (r[1], r[2], r[0]))

@@ -26,11 +26,12 @@ from typing import Union
 import numpy as np
 
 from ..cluster.simulator import Cluster
+from ..storage.columnar import ColumnarDataset
 from ..trajectory.trajectory import Trajectory
 from .adapters import EDRAdapter, ERPAdapter, IndexAdapter, LCSSAdapter, get_adapter
 from .config import DITAConfig
 from .engine import DITAEngine
-from .global_index import GlobalIndex
+from .global_index import GlobalIndex, partition_info
 from .search import LocalSearcher
 from .trie import TrieIndex
 
@@ -65,11 +66,13 @@ def save_engine(engine: DITAEngine, path: PathLike) -> None:
     arrays = {}
     partitions = {}
     tries = {}
-    for pid, part in engine.partitions.items():
-        partitions[str(pid)] = [t.traj_id for t in part]
-        for t in part:
-            arrays[f"t{t.traj_id}"] = t.points
-        tries[str(pid)] = engine.tries[pid].to_dict()
+    for pid in engine.partition_pids():
+        part = engine.partition(pid)
+        alive = part.alive_rows().tolist()
+        partitions[str(pid)] = [int(part.traj_ids[r]) for r in alive]
+        for r in alive:
+            arrays[f"t{int(part.traj_ids[r])}"] = part.points(r)
+        tries[str(pid)] = engine.trie(pid).to_dict()
     meta = {
         "version": FORMAT_VERSION,
         "config": dataclasses.asdict(engine.config),
@@ -97,16 +100,22 @@ def load_engine(path: PathLike, cluster: Cluster | None = None) -> DITAEngine:
     engine.config = config
     engine.adapter = adapter
     engine.partitions = {
-        int(pid): [trajs[tid] for tid in ids] for pid, ids in meta["partitions"].items()
+        int(pid): ColumnarDataset.from_trajectories([trajs[tid] for tid in ids])
+        for pid, ids in meta["partitions"].items()
     }
-    # restore tries verbatim; rebuild the (cheap, derived) global index
+    engine._store = None
+    engine._unloaded = set()
+    # restore tries verbatim (each trie adopts its partition's columnar
+    # dataset); rebuild the (cheap, derived) global index from the summary
+    # arrays
     engine.tries = {
         int(pid): TrieIndex.from_dict(meta["tries"][pid], engine.partitions[int(pid)], config)
         for pid in meta["partitions"]
     }
-    max_pid = max(engine.partitions) if engine.partitions else 0
-    ordered = [engine.partitions.get(pid, []) for pid in range(max_pid + 1)]
-    engine.global_index = GlobalIndex(ordered, config)
+    engine.global_index = GlobalIndex.from_infos(
+        [partition_info(pid, part) for pid, part in sorted(engine.partitions.items())],
+        config,
+    )
     engine.build_time_s = 0.0
     engine.verifier = adapter.make_verifier(
         use_mbr_coverage=config.use_mbr_coverage,

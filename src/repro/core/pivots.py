@@ -88,16 +88,18 @@ def pivot_indices(points: np.ndarray, k: int, strategy: str = "neighbor") -> Lis
     return [int(i) for i in chosen]
 
 
-def indexing_points(traj: Trajectory, k: int, strategy: str = "neighbor") -> np.ndarray:
+def indexing_points(traj, k: int, strategy: str = "neighbor") -> np.ndarray:
     """The indexing-point sequence ``T_I = (t1, tm, tP1, ..., tPK)``.
 
-    Returns between 1 and ``k + 2`` rows: first point, last point, then up
-    to ``k`` interior pivots in trajectory order.  Short trajectories yield
-    shorter sequences (see :func:`pivot_indices`); a single-point trajectory
-    yields just its one point — listing it twice would double-charge the one
-    DTW cell the pair shares and break the lower bound.
+    ``traj`` is an ``(n, d)`` point array (the storage tier's zero-copy row
+    view) or a :class:`Trajectory`.  Returns between 1 and ``k + 2`` rows:
+    first point, last point, then up to ``k`` interior pivots in trajectory
+    order.  Short trajectories yield shorter sequences (see
+    :func:`pivot_indices`); a single-point trajectory yields just its one
+    point — listing it twice would double-charge the one DTW cell the pair
+    shares and break the lower bound.
     """
-    pts = traj.points
+    pts = traj.points if isinstance(traj, Trajectory) else np.asarray(traj, dtype=np.float64)
     if pts.shape[0] == 1:
         return pts[:1].copy()
     idx = pivot_indices(pts, k, strategy)

@@ -1,16 +1,22 @@
 """Trajectory similarity search (Section 5).
 
 ``LocalSearcher`` answers a query inside one partition: trie filter
-(Algorithm 2) followed by the staged verifier.  The distributed flow —
-global pruning, dispatch to relevant partitions, collection — lives in
-:class:`repro.core.engine.DITAEngine`, which runs one ``LocalSearcher`` per
-relevant partition on the simulated cluster.
+(Algorithm 2) followed by the staged verifier.  The hot path is entirely
+row-native — candidates flow as int64 row arrays from the frontier filter
+through the batched verifier, which reads zero-copy point views out of the
+partition's columnar dataset; ``Trajectory`` objects are materialized only
+for the accepted results (and only by the object-facing wrappers).  The
+distributed flow — global pruning, dispatch to relevant partitions,
+collection — lives in :class:`repro.core.engine.DITAEngine`, which runs
+one ``LocalSearcher`` per relevant partition on the simulated cluster.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..trajectory.trajectory import Trajectory
 from .adapters import IndexAdapter
@@ -51,6 +57,41 @@ class LocalSearcher:
             use_cell_filter=trie.config.use_cell_filter,
         )
 
+    def search_rows_batch(
+        self,
+        q_points_list: Sequence[np.ndarray],
+        taus: Sequence[float],
+        q_datas: Optional[Sequence[Optional[VerificationData]]] = None,
+        stats: Optional[List[Optional[SearchStats]]] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """The row-native core: many queries (as raw point arrays) against
+        this partition in one frontier sweep plus one batched verify per
+        query.  Returns accepted ``(dataset row, distance)`` pairs per
+        query — no ``Trajectory`` is materialized anywhere on this path.
+        """
+        fstats = None if stats is None else [
+            s.filter if s is not None else None for s in stats
+        ]
+        cand_rows = self.trie.filter_candidates_batch(
+            list(q_points_list), list(taus), self.adapter, fstats
+        )
+        block = self.trie.batch_block()
+        dataset = self.trie.dataset
+        out: List[List[Tuple[int, float]]] = []
+        for i, (q_pts, tau, rows) in enumerate(zip(q_points_list, taus, cand_rows)):
+            q_data = q_datas[i] if q_datas is not None else None
+            if q_data is None:
+                q_data = VerificationData.from_points(q_pts, self.trie.config.cell_size)
+            vstats = None
+            if stats is not None and stats[i] is not None:
+                vstats = stats[i].verify
+            out.append(
+                self.verifier.verify_rows(
+                    block, dataset, rows, q_pts, tau, q_data, stats=vstats
+                )
+            )
+        return out
+
     def search(
         self,
         query: Trajectory,
@@ -71,38 +112,17 @@ class LocalSearcher:
         query_datas: Optional[List[Optional[VerificationData]]] = None,
         stats: Optional[List[Optional[SearchStats]]] = None,
     ) -> List[List[Match]]:
-        """Answer many queries against this partition: one frontier sweep
-        over the columnar trie for the whole batch, then the batched
-        verifier per query.  Returns one match list per query — identical
-        to looping :meth:`search`."""
-        fstats = None if stats is None else [
-            s.filter if s is not None else None for s in stats
-        ]
-        cand_lists = self.trie.filter_candidates_batch(
-            [q.points for q in queries], list(taus), self.adapter, fstats
+        """Object-facing wrapper over :meth:`search_rows_batch`: accepted
+        rows — and only those — are materialized as ``Trajectory`` views."""
+        row_results = self.search_rows_batch(
+            [q.points for q in queries], list(taus), query_datas, stats
         )
-        block = self.trie.batch_block()
-        out: List[List[Match]] = []
-        for i, (query, tau, candidates) in enumerate(zip(queries, taus, cand_lists)):
-            q_data = query_datas[i] if query_datas is not None else None
-            if q_data is None:
-                q_data = VerificationData.of(query, self.trie.config.cell_size)
-            vstats = None
-            if stats is not None and stats[i] is not None:
-                vstats = stats[i].verify
-            out.append(
-                self.verifier.verify_batch(
-                    candidates,
-                    query,
-                    tau,
-                    q_data,
-                    block=block,
-                    stats=vstats,
-                    data_lookup=self.trie.verification.get,
-                )
-            )
-        return out
+        dataset = self.trie.dataset
+        return [
+            [(dataset.view(row), dist) for row, dist in matches]
+            for matches in row_results
+        ]
 
     def count_candidates(self, query: Trajectory, tau: float) -> int:
         """Candidate count only (the Figure 17 pruning-power metric)."""
-        return len(self.trie.filter_candidates(query.points, tau, self.adapter))
+        return int(self.trie.filter_candidates(query.points, tau, self.adapter).shape[0])

@@ -8,6 +8,13 @@ group's current indexing point; leaves store the trajectories themselves
 (a *clustered* index — the paper contrasts this with DFT's non-clustered
 bitmap design).
 
+The index is *row-native*: the partition's trajectories live in a
+:class:`~repro.storage.columnar.ColumnarDataset` (one contiguous CSR
+layout, possibly memory-mapped from a persisted store block) and every
+node holds ``int`` row indices into it.  Filtering returns row arrays;
+``Trajectory`` objects are materialized only at the boundary, by callers
+that need them.
+
 Filtering (Algorithm 2) walks the trie accumulating per-level ``MinDist``
 against a shrinking threshold; the per-distance accumulation policy lives
 in :mod:`repro.core.adapters`.
@@ -21,7 +28,7 @@ is sound (they simply enjoyed fewer pruning levels).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -29,11 +36,11 @@ from ..geometry.mbr import MBR
 from ..kernels.batch import TrajectoryBlock
 from ..kernels.frontier import ColumnarTrie, QueryBatch, frontier_filter
 from ..spatial.str_pack import str_partition
+from ..storage.columnar import ColumnarDataset
 from ..trajectory.trajectory import Trajectory
 from .adapters import FIRST, LAST, PIVOT, FilterState, IndexAdapter, batch_visit_supported
 from .config import DITAConfig
 from .pivots import indexing_points
-from .verify import VerificationData
 
 
 def _level_kind(level: int) -> str:
@@ -51,16 +58,16 @@ class TrieNode:
 
     ``level`` is the depth (root = 0); ``mbr`` covers the ``level``-th
     indexing point of every trajectory below (None for the root);
-    ``short_trajs`` holds trajectories whose indexing sequence ends at this
-    node; ``trajectories`` is non-empty only for leaves.
+    ``short_rows`` holds dataset rows whose indexing sequence ends at this
+    node; ``rows`` is non-empty only for leaves.
     """
 
     level: int
     kind: Optional[str] = None
     mbr: Optional[MBR] = None
     children: List["TrieNode"] = field(default_factory=list)
-    trajectories: List[Trajectory] = field(default_factory=list)
-    short_trajs: List[Trajectory] = field(default_factory=list)
+    rows: List[int] = field(default_factory=list)
+    short_rows: List[int] = field(default_factory=list)
     max_len: int = 0
 
     @property
@@ -91,82 +98,87 @@ class TrieIndex:
     Parameters
     ----------
     trajectories:
-        The partition's trajectories (stored clustered in the leaves).
+        The partition's trajectories: a
+        :class:`~repro.storage.columnar.ColumnarDataset` (adopted as-is,
+        zero-copy — the canonical path) or any iterable of
+        :class:`Trajectory` (packed into one).
     config:
         Index parameters (``num_pivots``, ``trie_fanout``, ...).
     """
 
     def __init__(
         self,
-        trajectories: Iterable[Trajectory],
+        trajectories: Union[ColumnarDataset, Iterable[Trajectory]],
         config: Optional[DITAConfig] = None,
         _root: Optional[TrieNode] = None,
     ) -> None:
         self.config = config or DITAConfig()
-        trajs = list(trajectories)
-        self._n = len(trajs)
+        self.dataset = ColumnarDataset.from_trajectories(trajectories)
         cfg = self.config
+        rows = [int(r) for r in self.dataset.alive_rows()]
         self._index_seqs: Dict[int, np.ndarray] = {
-            t.traj_id: indexing_points(t, cfg.num_pivots, cfg.pivot_strategy) for t in trajs
+            r: indexing_points(self.dataset.points(r), cfg.num_pivots, cfg.pivot_strategy)
+            for r in rows
         }
-        self.verification: Dict[int, VerificationData] = {
-            t.traj_id: VerificationData.of(t, cfg.cell_size) for t in trajs
-        }
-        self._ndim = trajs[0].points.shape[1] if trajs else 2
+        self._ndim = self.dataset.ndim
         # every structural mutation bumps this; derived caches (the stacked
         # verification block and the columnar trie) key on it, so an
         # equal-size remove+insert cycle can never resurrect stale arrays
         self._mutations = 0
         self._block: Optional[TrajectoryBlock] = None
-        self._block_version = -1
+        self._block_key = None
         self._columnar: Optional[ColumnarTrie] = None
-        self._columnar_version = -1
-        self.root = self._build(trajs, level=0) if _root is None else _root
+        self._columnar_key = None
+        self.root = self._build(rows, level=0) if _root is None else _root
+
+    def _cache_key(self):
+        return (self._mutations, self.dataset.version)
 
     def batch_block(self) -> TrajectoryBlock:
         """The partition's verification artifacts stacked for the batched
-        filter stages (:mod:`repro.kernels.batch`).  Built lazily from the
-        ``verification`` dict (deterministic insertion order) and cached;
-        :meth:`insert` / :meth:`remove` invalidate the cache via the
-        mutation-version counter."""
-        if self._block is None or self._block_version != self._mutations:
-            self._block = TrajectoryBlock.from_verification(self.verification)
-            self._block_version = self._mutations
+        filter stages (:mod:`repro.kernels.batch`), sharing the dataset's
+        row space.  Built lazily straight from the columnar arrays and
+        cached; :meth:`insert` / :meth:`remove` invalidate the cache via
+        the mutation-version counter."""
+        if self._block is None or self._block_key != self._cache_key():
+            self._block = TrajectoryBlock.from_columnar(self.dataset, self.config.cell_size)
+            self._block_key = self._cache_key()
         return self._block
 
     def columnar(self) -> ColumnarTrie:
         """The trie flattened into contiguous arrays for frontier traversal
         (:mod:`repro.kernels.frontier`); cached under the same
         mutation-version contract as :meth:`batch_block`."""
-        if self._columnar is None or self._columnar_version != self._mutations:
+        if self._columnar is None or self._columnar_key != self._cache_key():
             self._columnar = ColumnarTrie.from_root(self.root, self._ndim)
-            self._columnar_version = self._mutations
+            self._columnar_key = self._cache_key()
         return self._columnar
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
 
-    def _build(self, trajs: List[Trajectory], level: int) -> TrieNode:
+    def _build(self, rows: List[int], level: int) -> TrieNode:
         node = TrieNode(level=level, kind=_level_kind(level) if level > 0 else None)
-        node.max_len = max((len(t) for t in trajs), default=0)
-        if not trajs:
+        lengths = self.dataset.lengths
+        node.max_len = max((int(lengths[r]) for r in rows), default=0)
+        if not rows:
             return node
         max_level = self.config.num_pivots + 2
-        # trajectories whose indexing sequence ends here become short-leaf
-        # members; the rest are grouped by the next indexing point
-        remaining: List[Trajectory] = []
-        for t in trajs:
-            if self._index_seqs[t.traj_id].shape[0] <= level:
-                node.short_trajs.append(t)
+        # rows whose indexing sequence ends here become short-leaf members;
+        # the rest are grouped by the next indexing point
+        remaining: List[int] = []
+        for r in rows:
+            if self._index_seqs[r].shape[0] <= level:
+                node.short_rows.append(r)
             else:
-                remaining.append(t)
+                remaining.append(r)
         if not remaining:
             return node
         if level >= max_level or len(remaining) <= self.config.trie_leaf_capacity:
-            node.trajectories = remaining
+            node.rows = remaining
             return node
-        pts = np.asarray([self._index_seqs[t.traj_id][level] for t in remaining])
+        pts = np.asarray([self._index_seqs[r][level] for r in remaining])
         groups = str_partition(pts, self.config.trie_fanout)
         for idx in groups:
             members = [remaining[i] for i in idx.tolist()]
@@ -186,8 +198,8 @@ class TrieIndex:
         tau: float,
         adapter: IndexAdapter,
         stats: Optional[FilterStats] = None,
-    ) -> List[Trajectory]:
-        """Candidate trajectories possibly similar to query points ``q``.
+    ) -> np.ndarray:
+        """Dataset rows of candidates possibly similar to query points ``q``.
 
         Guaranteed superset of the true answers for the adapter's distance.
         Routed through the columnar frontier traversal when the config and
@@ -206,14 +218,14 @@ class TrieIndex:
         taus: List[float],
         adapter: IndexAdapter,
         stats: Optional[List[Optional[FilterStats]]] = None,
-    ) -> List[List[Trajectory]]:
+    ) -> List[np.ndarray]:
         """Run Algorithm 2 for many queries in one level-synchronous sweep
         over the columnar trie layout (:mod:`repro.kernels.frontier`).
 
-        Returns one candidate list per query — the same sets (and the same
-        ``FilterStats`` counts) the recursive reference walk produces.
-        Adapters that customize the scalar ``visit`` without a matching
-        ``visit_batch`` fall back to the reference walk per query.
+        Returns one int64 row array per query — the same candidate sets
+        (and the same ``FilterStats`` counts) the recursive reference walk
+        produces.  Adapters that customize the scalar ``visit`` without a
+        matching ``visit_batch`` fall back to the reference walk per query.
         """
         qs = [np.atleast_2d(np.asarray(q, dtype=np.float64)) for q in queries]
         if len(qs) != len(taus):
@@ -230,16 +242,16 @@ class TrieIndex:
         trie = self.columnar()
         batch = QueryBatch(qs)
         positions, visited, pruned = frontier_filter(trie, batch, taus, adapter)
-        out: List[List[Trajectory]] = []
+        out: List[np.ndarray] = []
         for i, pos in enumerate(positions):
-            members = [trie.members[int(p)] for p in pos]
+            rows = trie.member_rows[pos]
             if stats is not None and stats[i] is not None:
                 stats[i].nodes_visited += int(visited[i])
                 stats[i].nodes_pruned += int(pruned[i])
                 # accumulate, like every other counter: one stats object
                 # may observe several filtering passes
-                stats[i].candidates += len(members)
-            out.append(members)
+                stats[i].candidates += int(rows.shape[0])
+            out.append(rows)
         return out
 
     def filter_candidates_reference(
@@ -248,16 +260,16 @@ class TrieIndex:
         tau: float,
         adapter: IndexAdapter,
         stats: Optional[FilterStats] = None,
-    ) -> List[Trajectory]:
+    ) -> np.ndarray:
         """The recursive object-graph walk of Algorithm 2, kept as the
         differential-testing oracle for the frontier traversal."""
         q = np.atleast_2d(np.asarray(q, dtype=np.float64))
         state = adapter.initial_state(q, tau)
-        out: List[Trajectory] = []
+        out: List[int] = []
         self._filter_reference(self.root, q, state, adapter, out, stats)
         if stats is not None:
             stats.candidates += len(out)
-        return out
+        return np.asarray(out, dtype=np.int64)
 
     def _filter_reference(
         self,
@@ -265,7 +277,7 @@ class TrieIndex:
         q: np.ndarray,
         state: FilterState,
         adapter: IndexAdapter,
-        out: List[Trajectory],
+        out: List[int],
         stats: Optional[FilterStats],
     ) -> None:
         if stats is not None:
@@ -273,8 +285,8 @@ class TrieIndex:
         # anything whose indexing sequence ended here survived every level,
         # and leaf members are candidates outright; a node can hold members
         # *and* children (insert's overflow path), so always keep walking
-        out.extend(node.short_trajs)
-        out.extend(node.trajectories)
+        out.extend(node.short_rows)
+        out.extend(node.rows)
         for child in node.children:
             child_state = adapter.visit(state, child.kind, child.mbr, q, child.max_len)
             if child_state is None:
@@ -288,7 +300,7 @@ class TrieIndex:
     # ------------------------------------------------------------------ #
 
     def __len__(self) -> int:
-        return self._n
+        return len(self.dataset)
 
     def node_count(self) -> int:
         return self.root.node_count()
@@ -299,12 +311,13 @@ class TrieIndex:
 
         return depth(self.root)
 
-    def all_trajectories(self) -> List[Trajectory]:
-        out: List[Trajectory] = []
+    def all_rows(self) -> List[int]:
+        """Every indexed dataset row, in trie walk order."""
+        out: List[int] = []
 
         def walk(n: TrieNode) -> None:
-            out.extend(n.short_trajs)
-            out.extend(n.trajectories)
+            out.extend(n.short_rows)
+            out.extend(n.rows)
             for c in n.children:
                 walk(c)
 
@@ -318,30 +331,31 @@ class TrieIndex:
     def insert(self, traj: Trajectory) -> None:
         """Insert one trajectory (R-tree-style least-enlargement routing).
 
-        The new indexing points descend the existing tree, expanding node
-        MBRs along the path; a leaf that grows beyond twice the configured
-        capacity is re-split by STR on its level's indexing point.  All
-        filter invariants are preserved (every node MBR covers its
-        subtree's indexing points), so search stays exact.
+        The trajectory is appended to the partition's dataset (existing
+        rows keep their indices) and its new row descends the existing
+        tree, expanding node MBRs along the path; a leaf that grows beyond
+        twice the configured capacity is re-split by STR on its level's
+        indexing point.  All filter invariants are preserved (every node
+        MBR covers its subtree's indexing points), so search stays exact.
         """
-        if traj.traj_id in self._index_seqs:
+        if traj.traj_id in self.dataset:
             raise ValueError(f"trajectory {traj.traj_id} already indexed")
         cfg = self.config
-        seq = indexing_points(traj, cfg.num_pivots, cfg.pivot_strategy)
-        self._index_seqs[traj.traj_id] = seq
-        self.verification[traj.traj_id] = VerificationData.of(traj, cfg.cell_size)
+        row = self.dataset.append(traj)
+        seq = indexing_points(self.dataset.points(row), cfg.num_pivots, cfg.pivot_strategy)
+        self._index_seqs[row] = seq
         self._mutations += 1  # stacked batch/columnar arrays are stale now
-        self._n += 1
+        n_pts = int(self.dataset.lengths[row])
         node = self.root
         level = 0
         max_level = cfg.num_pivots + 2
         while True:
-            node.max_len = max(node.max_len, len(traj))
+            node.max_len = max(node.max_len, n_pts)
             if seq.shape[0] <= level:
-                node.short_trajs.append(traj)
+                node.short_rows.append(row)
                 return
             if not node.children:
-                node.trajectories.append(traj)
+                node.rows.append(row)
                 self._maybe_split(node, level)
                 return
             point = seq[level]
@@ -353,20 +367,20 @@ class TrieIndex:
             node = best
             level += 1
             if level > max_level:  # defensive; trees never exceed this
-                node.trajectories.append(traj)
+                node.rows.append(row)
                 return
 
     def _maybe_split(self, node: TrieNode, level: int) -> None:
         """Split an overflowing leaf into NL children at the next level."""
         cfg = self.config
         max_level = cfg.num_pivots + 2
-        if level >= max_level or len(node.trajectories) <= 2 * cfg.trie_leaf_capacity:
+        if level >= max_level or len(node.rows) <= 2 * cfg.trie_leaf_capacity:
             return
-        members = node.trajectories
+        members = node.rows
         # members always have an indexing point at `level` (short ones went
-        # to short_trajs), so grouping by it is well-defined
-        pts = np.asarray([self._index_seqs[t.traj_id][level] for t in members])
-        node.trajectories = []
+        # to short_rows), so grouping by it is well-defined
+        pts = np.asarray([self._index_seqs[r][level] for r in members])
+        node.rows = []
         groups = str_partition(pts, cfg.trie_fanout)
         for idx in groups:
             sub = [members[i] for i in idx.tolist()]
@@ -378,27 +392,27 @@ class TrieIndex:
     def remove(self, traj_id: int) -> bool:
         """Remove a trajectory by id; returns False when absent.
 
-        Node MBRs are left unshrunk (still sound — possibly looser), as in
+        The dataset row is tombstoned (bytes stay in place, row indices
+        held elsewhere stay stable) and dropped from its node.  Node MBRs
+        are left unshrunk (still sound — possibly looser), as in
         lazy-deletion R-trees.
         """
-        if traj_id not in self._index_seqs:
+        row = self.dataset.mark_removed(traj_id)
+        if row is None:
             return False
 
         def walk(node: TrieNode) -> bool:
-            for lst in (node.short_trajs, node.trajectories):
-                for i, t in enumerate(lst):
-                    if t.traj_id == traj_id:
+            for lst in (node.short_rows, node.rows):
+                for i, r in enumerate(lst):
+                    if r == row:
                         del lst[i]
                         return True
             return any(walk(c) for c in node.children)
 
-        removed = walk(self.root)
-        if removed:
-            del self._index_seqs[traj_id]
-            del self.verification[traj_id]
-            self._mutations += 1  # stacked batch/columnar arrays are stale now
-            self._n -= 1
-        return removed
+        walk(self.root)
+        self._index_seqs.pop(row, None)
+        self._mutations += 1  # stacked batch/columnar arrays are stale now
+        return True
 
     # ------------------------------------------------------------------ #
     # serialization (see repro.core.persistence)
@@ -406,6 +420,7 @@ class TrieIndex:
 
     def to_dict(self) -> dict:
         """JSON-serializable form of the trie structure (ids, not data)."""
+        ids = self.dataset.traj_ids
 
         def node_dict(n: TrieNode) -> dict:
             return {
@@ -413,8 +428,8 @@ class TrieIndex:
                 "kind": n.kind,
                 "mbr": None if n.mbr is None else [n.mbr.low.tolist(), n.mbr.high.tolist()],
                 "max_len": n.max_len,
-                "short": [t.traj_id for t in n.short_trajs],
-                "leaf": [t.traj_id for t in n.trajectories],
+                "short": [int(ids[r]) for r in n.short_rows],
+                "leaf": [int(ids[r]) for r in n.rows],
                 "children": [node_dict(c) for c in n.children],
             }
 
@@ -422,12 +437,15 @@ class TrieIndex:
 
     @classmethod
     def from_dict(
-        cls, data: dict, trajectories: Iterable[Trajectory], config: DITAConfig
+        cls,
+        data: dict,
+        trajectories: Union[ColumnarDataset, Iterable[Trajectory]],
+        config: DITAConfig,
     ) -> "TrieIndex":
         """Rebuild a TrieIndex from :meth:`to_dict` output plus the raw
         trajectories (verification artifacts are recomputed — they are
         derived data)."""
-        by_id = {t.traj_id: t for t in trajectories}
+        dataset = ColumnarDataset.from_trajectories(trajectories)
 
         def build(d: dict) -> TrieNode:
             node = TrieNode(
@@ -436,16 +454,16 @@ class TrieIndex:
                 mbr=None if d["mbr"] is None else MBR(d["mbr"][0], d["mbr"][1]),
                 max_len=int(d["max_len"]),
             )
-            node.short_trajs = [by_id[i] for i in d["short"]]
-            node.trajectories = [by_id[i] for i in d["leaf"]]
+            node.short_rows = [dataset.row_of(i) for i in d["short"]]
+            node.rows = [dataset.row_of(i) for i in d["leaf"]]
             node.children = [build(c) for c in d["children"]]
             return node
 
-        return cls(by_id.values(), config, _root=build(data))
+        return cls(dataset, config, _root=build(data))
 
     def size_bytes(self) -> int:
         """Approximate *structural* index footprint: trie nodes, their MBRs,
-        leaf id references and the per-trajectory indexing points.  This is
+        leaf row references and the per-trajectory indexing points.  This is
         the quantity the paper's Table 5 compares against DFT's segment
         index; the verification artifacts (trajectory MBRs + cells) are
         precomputed *data* reported separately by
@@ -457,7 +475,7 @@ class TrieIndex:
             total += 64  # node overhead
             if n.mbr is not None:
                 total += int(n.mbr.low.nbytes + n.mbr.high.nbytes)
-            total += 8 * (len(n.trajectories) + len(n.short_trajs))  # id refs
+            total += 8 * (len(n.rows) + len(n.short_rows))  # row refs
             for c in n.children:
                 walk(c)
 
@@ -468,9 +486,8 @@ class TrieIndex:
 
     def verification_size_bytes(self) -> int:
         """Footprint of the precomputed verification artifacts (Lemma 5.4
-        MBRs and Lemma 5.6 cells)."""
-        total = 0
-        for data in self.verification.values():
-            total += int(data.mbr.low.nbytes + data.mbr.high.nbytes)
-            total += 40 * len(data.cells)
+        MBRs and Lemma 5.6 cells), measured over the stacked block."""
+        block = self.batch_block()
+        total = int(block.mbr_low.nbytes + block.mbr_high.nbytes)
+        total += 40 * int(block.cell_counts.shape[0])
         return total

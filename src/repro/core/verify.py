@@ -34,7 +34,12 @@ _INF = math.inf
 
 @dataclass
 class VerificationData:
-    """Per-trajectory precomputed artifacts used by the verifier."""
+    """Per-trajectory precomputed artifacts used by the verifier.
+
+    Dataset-resident trajectories keep these stacked in a
+    :class:`~repro.kernels.batch.TrajectoryBlock`; this object form exists
+    for the *query* side and for callers holding loose point arrays.
+    """
 
     mbr: MBR
     cells: CellSet
@@ -42,6 +47,13 @@ class VerificationData:
     @classmethod
     def of(cls, traj: Trajectory, cell_size: float) -> "VerificationData":
         return cls(mbr=traj.mbr, cells=CellSet.from_points(traj.points, cell_size))
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, cell_size: float) -> "VerificationData":
+        """Artifacts straight from an ``(n, d)`` point array (e.g. a
+        zero-copy storage row view) — no ``Trajectory`` required."""
+        pts = np.asarray(points, dtype=np.float64)
+        return cls(mbr=MBR.of_points(pts), cells=CellSet.from_points(pts, cell_size))
 
 
 from .numerics import slack as _slack
@@ -150,78 +162,65 @@ class Verifier:
             stats.accepted += 1
         return d
 
-    def verify_batch(
+    def verify_rows(
         self,
-        candidates: Sequence[Trajectory],
-        q: Trajectory,
+        block: TrajectoryBlock,
+        dataset,
+        rows: np.ndarray,
+        q_points: np.ndarray,
         tau: float,
         q_data: VerificationData,
-        block: Optional[TrajectoryBlock] = None,
         stats: Optional[VerifyStats] = None,
-        data_lookup=None,
-    ) -> List[Tuple[Trajectory, float]]:
-        """Staged verification of a whole candidate list at once.
+    ) -> List[Tuple[int, float]]:
+        """Staged verification of a whole candidate row list at once.
 
-        The Lemma 5.4 and Lemma 5.6 filter stages run as matrix operations
-        over ``block`` (the receiver trie's stacked verification artifacts);
-        only survivors reach ``exact_fn``.  Returns the accepted
-        ``(trajectory, distance)`` pairs in candidate order — the same
-        answers and the same :class:`VerifyStats` counts as calling
-        :meth:`verify` per pair.  Candidates absent from ``block`` (or every
-        candidate, when the verifier uses a custom cell bound with no batch
-        equivalent) fall back to the per-pair pipeline;
-        ``data_lookup(traj_id)`` supplies their :class:`VerificationData`
-        when available.
+        ``rows`` are dataset row indices (the trie filter's output) and
+        ``block`` is the partition's stacked verification artifacts in the
+        same row space, so no id translation happens anywhere: the Lemma
+        5.4 and Lemma 5.6 filter stages run as matrix operations over the
+        block, and only survivors reach ``exact_fn`` — fed zero-copy point
+        views straight out of the columnar dataset, never a materialized
+        ``Trajectory``.  Returns accepted ``(row, distance)`` pairs in
+        candidate order, with the same answers and the same
+        :class:`VerifyStats` counts as calling :meth:`verify` per pair.
+        Verifiers with a custom scalar cell bound (no batched equivalent)
+        evaluate it per row over the block's cell segments.
         """
-        if not candidates:
+        rows = np.asarray(rows, dtype=np.int64)
+        k = int(rows.shape[0])
+        if k == 0:
             return []
-        accepted: dict = {}
-
-        def per_pair(t: Trajectory) -> None:
-            t_data = data_lookup(t.traj_id) if data_lookup is not None else None
-            d = self.verify(t, q, tau, t_data, q_data, stats)
-            if d <= tau:
-                accepted[t.traj_id] = d
-
-        batchable = block is not None and (
-            not self.use_cell_filter or self.cell_bound_kind is not None
-        )
-        if not batchable:
-            for t in candidates:
-                per_pair(t)
-            return [(t, accepted[t.traj_id]) for t in candidates if t.traj_id in accepted]
-        in_block = [t for t in candidates if t.traj_id in block]
-        survivors = in_block
-        if in_block:
+        if stats is not None:
+            stats.pairs += k
+        slack = _slack(tau)
+        if self.use_mbr_coverage:
+            mask = batch_mbr_coverage(block, rows, q_data.mbr.low, q_data.mbr.high, slack)
             if stats is not None:
-                stats.pairs += len(in_block)
-            rows = block.rows_for([t.traj_id for t in in_block])
-            if self.use_mbr_coverage:
-                mask = batch_mbr_coverage(
-                    block, rows, q_data.mbr.low, q_data.mbr.high, _slack(tau)
+                stats.pruned_by_mbr += int(k - int(mask.sum()))
+            rows = rows[np.nonzero(mask)[0]]
+        if self.use_cell_filter and rows.shape[0]:
+            if self.cell_bound_kind is not None:
+                bounds = batch_cell_bounds(block, rows, q_data.cells, self.cell_bound_kind)
+                mask = bounds <= slack
+            else:
+                mask = np.asarray(
+                    [
+                        self.cell_bound_fn(block.cellset_of(int(r)), q_data.cells) <= slack
+                        for r in rows
+                    ],
+                    dtype=bool,
                 )
+            if stats is not None:
+                stats.pruned_by_cells += int(rows.shape[0] - int(mask.sum()))
+            rows = rows[np.nonzero(mask)[0]]
+        q_points = np.asarray(q_points, dtype=np.float64)
+        out: List[Tuple[int, float]] = []
+        for r in rows.tolist():
+            if stats is not None:
+                stats.exact_computed += 1
+            d = self.exact_fn(dataset.points(r), q_points, tau)
+            if d <= tau:
                 if stats is not None:
-                    stats.pruned_by_mbr += int(len(in_block) - int(mask.sum()))
-                keep = np.nonzero(mask)[0]
-                survivors = [in_block[int(i)] for i in keep]
-                rows = rows[keep]
-            if self.use_cell_filter and survivors:
-                bounds = batch_cell_bounds(
-                    block, rows, q_data.cells, self.cell_bound_kind
-                )
-                mask = bounds <= _slack(tau)
-                if stats is not None:
-                    stats.pruned_by_cells += int(len(survivors) - int(mask.sum()))
-                survivors = [t for t, ok in zip(survivors, mask) if ok]
-            for t in survivors:
-                if stats is not None:
-                    stats.exact_computed += 1
-                d = self.exact_fn(t.points, q.points, tau)
-                if d <= tau:
-                    if stats is not None:
-                        stats.accepted += 1
-                    accepted[t.traj_id] = d
-        for t in candidates:
-            if t.traj_id not in block:
-                per_pair(t)
-        return [(t, accepted[t.traj_id]) for t in candidates if t.traj_id in accepted]
+                    stats.accepted += 1
+                out.append((r, d))
+        return out

@@ -524,6 +524,12 @@ _ARRAY_CTORS = {
     "numpy.arange", "numpy.ascontiguousarray",
 }
 
+#: readers that reinterpret raw bytes — the default dtype (uint8 for
+#: ``np.memmap``, float64 for ``np.fromfile``) is never the stored schema,
+#: so the width must be pinned at the call site.  ``np.lib.format``'s
+#: ``open_memmap`` is deliberately absent: the .npy header self-describes.
+_RAW_BYTE_READERS = {"numpy.memmap", "numpy.fromfile"}
+
 _NARROW_FLOATS = {"float16", "float32", "half", "single"}
 _NARROW_INTS = {
     "int8", "int16", "int32", "intc", "short", "byte",
@@ -552,9 +558,14 @@ class KernelDtypeRule(Rule):
         "starts/indptr vectors - int32 indices overflow silently past "
         "2^31 elements and numpy wraps rather than raises. Kernels must "
         "therefore construct arrays with an explicit dtype, never "
-        "down-cast to float16/32, and keep index-carrying arrays at int64."
+        "down-cast to float16/32, and keep index-carrying arrays at int64. "
+        "The storage tier (PR 7) additionally reads raw bytes back from "
+        "disk: np.memmap defaults to uint8 and np.fromfile to float64, so "
+        "either call without a pinned dtype silently reinterprets the "
+        "block bytes; pin dtype= from the catalog schema, or go through "
+        "np.lib.format.open_memmap whose .npy header self-describes."
     )
-    scopes = ("kernels",)
+    scopes = ("kernels", "storage")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -566,6 +577,15 @@ class KernelDtypeRule(Rule):
     def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
         name = ctx.dotted_name(node.func)
         dtype_kw = next((kw for kw in node.keywords if kw.arg == "dtype"), None)
+        if name in _RAW_BYTE_READERS and dtype_kw is None and len(node.args) < 2:
+            yield self.finding(
+                ctx,
+                node,
+                f"{name}() reads raw bytes with the default dtype "
+                "(uint8 for memmap, float64 for fromfile), silently "
+                "reinterpreting the block; pin dtype= from the stored "
+                "schema or use np.lib.format.open_memmap (self-describing)",
+            )
         if name in _ARRAY_CTORS and dtype_kw is None:
             # np.array(literal) positional-dtype form: np.array(x, np.int64)
             if not (name.endswith((".array", ".asarray")) and len(node.args) >= 2):

@@ -38,78 +38,107 @@ class TrajectoryBlock:
     ``mbr_low``/``mbr_high`` hold one row per trajectory; the cell
     summaries are concatenated CSR-style: trajectory ``r`` owns cells
     ``cell_starts[r]:cell_starts[r+1]`` of ``cell_centers`` /
-    ``cell_counts`` / ``cell_halves``.
+    ``cell_counts`` / ``cell_halves``.  Block rows share the row space of
+    the storage tier's :class:`~repro.storage.columnar.ColumnarDataset`
+    (row ``r`` of the block is row ``r`` of the dataset), so filter output
+    indexes straight into the block with no id translation.
     """
 
     __slots__ = (
         "ids",
-        "row_of",
         "mbr_low",
         "mbr_high",
         "cell_centers",
         "cell_counts",
         "cell_halves",
         "cell_starts",
+        "cell_side",
     )
 
     def __init__(
         self,
-        ids: List[int],
+        ids: np.ndarray,
         mbr_low: np.ndarray,
         mbr_high: np.ndarray,
         cell_centers: np.ndarray,
         cell_counts: np.ndarray,
         cell_halves: np.ndarray,
         cell_starts: np.ndarray,
+        cell_side: float = 0.0,
     ) -> None:
-        self.ids = ids
-        self.row_of: Dict[int, int] = {tid: r for r, tid in enumerate(ids)}
+        self.ids = np.asarray(ids, dtype=np.int64)
         self.mbr_low = mbr_low
         self.mbr_high = mbr_high
         self.cell_centers = cell_centers
         self.cell_counts = cell_counts
         self.cell_halves = cell_halves
         self.cell_starts = cell_starts
+        self.cell_side = float(cell_side)
 
     def __len__(self) -> int:
-        return len(self.ids)
-
-    def __contains__(self, traj_id: int) -> bool:
-        return traj_id in self.row_of
+        return int(self.ids.shape[0])
 
     @classmethod
-    def from_verification(cls, verification: Dict[int, "object"]) -> "TrajectoryBlock":
-        """Stack a ``{traj_id: VerificationData}`` mapping (iterated in its
-        insertion order, which is deterministic) into one block."""
-        ids = list(verification.keys())
-        datas = [verification[tid] for tid in ids]
-        if not datas:
-            d = 2
+    def from_columnar(cls, dataset, cell_size: float, rows=None) -> "TrajectoryBlock":
+        """Build the block straight from a columnar dataset's arrays.
+
+        MBR corners come from the dataset's vectorized per-row summaries
+        (no object iteration); cells run the paper's greedy compression per
+        row over zero-copy point views.  ``rows`` restricts the cell
+        computation (other rows get empty cell runs and undefined-but-
+        allocated MBRs) — tombstoned rows are skipped automatically.
+        """
+        from ..geometry.cell import CellSet
+
+        n = dataset.n_rows
+        d = dataset.ndim
+        if n == 0:
             return cls(
-                [],
+                np.empty(0, dtype=np.int64),
                 np.empty((0, d)),
                 np.empty((0, d)),
                 np.empty((0, d)),
                 np.empty(0),
                 np.empty(0),
                 np.zeros(1, dtype=np.int64),
+                cell_size,
             )
-        mbr_low = np.stack([data.mbr.low for data in datas])
-        mbr_high = np.stack([data.mbr.high for data in datas])
-        lens = np.asarray([data.cells.centers.shape[0] for data in datas], dtype=np.int64)
-        cell_starts = np.zeros(len(datas) + 1, dtype=np.int64)
+        live = dataset.alive_rows() if rows is None else np.asarray(rows, dtype=np.int64)
+        centers: List[np.ndarray] = []
+        counts: List[np.ndarray] = []
+        lens = np.zeros(n, dtype=np.int64)
+        for r in live.tolist():
+            cs = CellSet.from_points(dataset.points(r), cell_size)
+            centers.append(cs.centers)
+            counts.append(cs.counts)
+            lens[r] = cs.centers.shape[0]
+        cell_starts = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(lens, out=cell_starts[1:])
-        cell_centers = np.concatenate([data.cells.centers for data in datas])
-        cell_counts = np.concatenate([data.cells.counts for data in datas]).astype(np.float64)
-        cell_halves = np.concatenate(
-            [np.full(int(k), data.cells.side / 2.0) for data, k in zip(datas, lens)]
+        if centers:
+            cell_centers = np.concatenate(centers)
+            cell_counts = np.concatenate(counts).astype(np.float64)
+        else:
+            cell_centers = np.empty((0, d))
+            cell_counts = np.empty(0)
+        cell_halves = np.full(cell_centers.shape[0], cell_size / 2.0)
+        return cls(
+            dataset.traj_ids,
+            dataset.mbr_lows,
+            dataset.mbr_highs,
+            cell_centers,
+            cell_counts,
+            cell_halves,
+            cell_starts,
+            cell_size,
         )
-        return cls(ids, mbr_low, mbr_high, cell_centers, cell_counts, cell_halves, cell_starts)
 
-    def rows_for(self, traj_ids: Sequence[int]) -> np.ndarray:
-        """Row indices for ``traj_ids`` (raises KeyError when absent)."""
-        row_of = self.row_of
-        return np.asarray([row_of[tid] for tid in traj_ids], dtype=np.int64)
+    def cellset_of(self, row: int):
+        """The row's cells as a :class:`~repro.geometry.cell.CellSet` (the
+        per-pair fallback for verifiers with custom cell bounds)."""
+        from ..geometry.cell import CellSet
+
+        a, b = int(self.cell_starts[row]), int(self.cell_starts[row + 1])
+        return CellSet(self.cell_centers[a:b], self.cell_counts[a:b], self.cell_side)
 
     def gather_cells(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """CSR gather of the selected rows' cells.

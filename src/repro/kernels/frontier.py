@@ -105,8 +105,10 @@ class ColumnarTrie:
     Node ``0`` is the root; node ``j``'s children are exactly the node ids
     ``child_lo[j]:child_hi[j]`` (contiguous by construction of the BFS
     numbering).  ``leaf_starts``/``leaf_pos`` and ``short_starts``/
-    ``short_pos`` are CSR lists of member positions into ``members`` (the
-    trajectory objects, collected in node order).
+    ``short_pos`` are CSR lists of member positions into ``member_rows``
+    (int64 dataset row indices, collected in node order) — candidates come
+    out of the traversal as rows of the partition's columnar dataset, never
+    as objects.
     """
 
     __slots__ = (
@@ -123,7 +125,7 @@ class ColumnarTrie:
         "leaf_pos",
         "short_starts",
         "short_pos",
-        "members",
+        "member_rows",
     )
 
     def __init__(
@@ -139,7 +141,7 @@ class ColumnarTrie:
         leaf_pos: np.ndarray,
         short_starts: np.ndarray,
         short_pos: np.ndarray,
-        members: List[object],
+        member_rows: np.ndarray,
     ) -> None:
         self.n_nodes = int(kind.shape[0])
         self.ndim = int(mbr_low.shape[1])
@@ -154,13 +156,12 @@ class ColumnarTrie:
         self.leaf_pos = leaf_pos
         self.short_starts = short_starts
         self.short_pos = short_pos
-        self.members = members
+        self.member_rows = np.asarray(member_rows, dtype=np.int64)
 
     @classmethod
     def from_root(cls, root, ndim: int) -> "ColumnarTrie":
         """Flatten a ``TrieNode`` graph (duck-typed: ``level``, ``kind``,
-        ``mbr``, ``children``, ``trajectories``, ``short_trajs``,
-        ``max_len``)."""
+        ``mbr``, ``children``, ``rows``, ``short_rows``, ``max_len``)."""
         order = [root]
         head = 0
         while head < len(order):
@@ -175,7 +176,7 @@ class ColumnarTrie:
         counts = np.zeros(n, dtype=np.int64)
         leaf_starts = np.zeros(n + 1, dtype=np.int64)
         short_starts = np.zeros(n + 1, dtype=np.int64)
-        members: List[object] = []
+        member_rows: List[int] = []
         leaf_pos: List[int] = []
         short_pos: List[int] = []
         for j, node in enumerate(order):
@@ -187,12 +188,12 @@ class ColumnarTrie:
             level[j] = node.level
             max_len[j] = node.max_len
             counts[j] = len(node.children)
-            for t in node.short_trajs:
-                short_pos.append(len(members))
-                members.append(t)
-            for t in node.trajectories:
-                leaf_pos.append(len(members))
-                members.append(t)
+            for r in node.short_rows:
+                short_pos.append(len(member_rows))
+                member_rows.append(int(r))
+            for r in node.rows:
+                leaf_pos.append(len(member_rows))
+                member_rows.append(int(r))
             leaf_starts[j + 1] = len(leaf_pos)
             short_starts[j + 1] = len(short_pos)
         child_lo = np.ones(n, dtype=np.int64)
@@ -211,11 +212,11 @@ class ColumnarTrie:
             np.asarray(leaf_pos, dtype=np.int64),
             short_starts,
             np.asarray(short_pos, dtype=np.int64),
-            members,
+            np.asarray(member_rows, dtype=np.int64),
         )
 
     def size_bytes(self) -> int:
-        """Footprint of the flattened arrays (member references excluded)."""
+        """Footprint of the flattened arrays."""
         total = 0
         for name in (
             "mbr_low",
@@ -229,6 +230,7 @@ class ColumnarTrie:
             "leaf_pos",
             "short_starts",
             "short_pos",
+            "member_rows",
         ):
             total += int(getattr(self, name).nbytes)
         return total
@@ -406,7 +408,7 @@ def frontier_filter(
     """Run Algorithm 2 for every query of ``batch`` in one sweep.
 
     Returns ``(positions, visited, pruned)``: per query, the member
-    positions (into ``trie.members``) of its candidates, and the
+    positions (into ``trie.member_rows``) of its candidates, and the
     nodes-visited / nodes-pruned counts matching the recursive reference
     walk exactly.
     """

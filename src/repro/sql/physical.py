@@ -222,10 +222,11 @@ class IndexJoin(PhysicalOperator):
 
     def execute(self, params: Dict[str, object]) -> List[Row]:
         lb, rb = self.left_binding, self.right_binding
-        left_ds = {t.traj_id: t for p in self.left_engine.partitions.values() for t in p}
-        right_ds = {t.traj_id: t for p in self.right_engine.partitions.values() for t in p}
         rows: List[Row] = []
         pairs = _distributed(lambda: self.left_engine.join(self.right_engine, self.tau))
+        # materialize row views only for the ids that actually joined
+        left_ds = {a: self.left_engine.trajectory(a) for a, _, _ in pairs}
+        right_ds = {b: self.right_engine.trajectory(b) for _, b, _ in pairs}
         for a, b, d in pairs:
             rows.append(
                 {

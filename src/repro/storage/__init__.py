@@ -1,0 +1,39 @@
+"""Columnar trajectory storage tier.
+
+* :class:`~repro.storage.columnar.ColumnarDataset` — the in-memory CSR
+  container (flat coordinates + offsets + ids, vectorized summaries,
+  zero-copy row views).
+* :class:`~repro.storage.store.TrajectoryStore` / :func:`build_store` —
+  the persisted partitioned form: memory-mapped ``.npy`` blocks under a
+  ``catalog.json`` with partition MBRs, counts and checksums, supporting
+  catalog-level partition pruning and lazy loading.
+"""
+
+from .columnar import ColumnarDataset, partition_rows
+from .store import (
+    BLOCK_ARRAYS,
+    CATALOG_NAME,
+    STORAGE_FORMAT_VERSION,
+    ChecksumError,
+    CorruptBlockError,
+    PartitionMeta,
+    SchemaVersionError,
+    StorageError,
+    TrajectoryStore,
+    build_store,
+)
+
+__all__ = [
+    "BLOCK_ARRAYS",
+    "CATALOG_NAME",
+    "STORAGE_FORMAT_VERSION",
+    "ChecksumError",
+    "ColumnarDataset",
+    "CorruptBlockError",
+    "PartitionMeta",
+    "SchemaVersionError",
+    "StorageError",
+    "TrajectoryStore",
+    "build_store",
+    "partition_rows",
+]

@@ -1,7 +1,14 @@
 """Trajectory data model, IO, statistics and simplification."""
 
-from .geolife import load_plt, load_plt_directory
-from .io import load_csv, load_jsonl, save_csv, save_jsonl
+from .geolife import load_plt, load_plt_directory, load_plt_directory_columnar
+from .io import (
+    load_csv,
+    load_csv_columnar,
+    load_jsonl,
+    load_jsonl_columnar,
+    save_csv,
+    save_jsonl,
+)
 from .simplify import douglas_peucker, simplify
 from .stats import DatasetStats, dataset_stats, stats_header
 from .temporal import attach_time, attach_uniform_time, strip_time, temporal_dataset
@@ -16,9 +23,12 @@ __all__ = [
     "dataset_stats",
     "douglas_peucker",
     "load_csv",
+    "load_csv_columnar",
     "load_jsonl",
+    "load_jsonl_columnar",
     "load_plt",
     "load_plt_directory",
+    "load_plt_directory_columnar",
     "save_csv",
     "save_jsonl",
     "normalize_unit_box",

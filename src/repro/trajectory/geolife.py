@@ -29,6 +29,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..storage.columnar import ColumnarDataset
 from .trajectory import Trajectory, TrajectoryDataset
 
 PathLike = Union[str, Path]
@@ -37,9 +38,8 @@ PathLike = Union[str, Path]
 PLT_HEADER_LINES = 6
 
 
-def load_plt(path: PathLike, traj_id: int = 0, max_points: Optional[int] = None) -> Trajectory:
-    """Parse a single ``.plt`` file into a (lat, lng) trajectory."""
-    path = Path(path)
+def _plt_points(path: Path, max_points: Optional[int]) -> np.ndarray:
+    """Valid (lat, lng) rows of one ``.plt`` file as an ``(n, 2)`` array."""
     points: List[List[float]] = []
     with path.open() as f:
         for line_no, line in enumerate(f):
@@ -56,9 +56,44 @@ def load_plt(path: PathLike, traj_id: int = 0, max_points: Optional[int] = None)
             points.append([lat, lng])
             if max_points is not None and len(points) >= max_points:
                 break
-    if not points:
+    return np.asarray(points, dtype=np.float64).reshape(-1, 2)
+
+
+def load_plt(path: PathLike, traj_id: int = 0, max_points: Optional[int] = None) -> Trajectory:
+    """Parse a single ``.plt`` file into a (lat, lng) trajectory."""
+    path = Path(path)
+    pts = _plt_points(path, max_points)
+    if pts.shape[0] == 0:
         raise ValueError(f"{path} contains no valid points")
-    return Trajectory(traj_id, np.asarray(points))
+    return Trajectory(traj_id, pts)
+
+
+def load_plt_directory_columnar(
+    root: PathLike,
+    max_trajectories: Optional[int] = None,
+    max_points: Optional[int] = None,
+    min_points: int = 2,
+) -> ColumnarDataset:
+    """Recursively ingest every ``.plt`` under ``root`` (sorted for
+    determinism) into one contiguous columnar block, assigning sequential
+    ids; files with fewer than ``min_points`` valid rows are skipped."""
+    root = Path(root)
+    files = sorted(root.rglob("*.plt"))
+    blocks: List[np.ndarray] = []
+    for path in files:
+        if max_trajectories is not None and len(blocks) >= max_trajectories:
+            break
+        pts = _plt_points(path, max_points)
+        if pts.shape[0] >= min_points:
+            blocks.append(pts)
+    if not blocks:
+        return ColumnarDataset.empty(2)
+    ids = np.arange(len(blocks), dtype=np.int64)
+    lens = np.asarray([b.shape[0] for b in blocks], dtype=np.int64)
+    starts = np.zeros(ids.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lens, out=starts[1:])
+    coords = np.concatenate(blocks, axis=0)
+    return ColumnarDataset(ids, starts, coords)
 
 
 def load_plt_directory(
@@ -69,17 +104,9 @@ def load_plt_directory(
 ) -> TrajectoryDataset:
     """Recursively load every ``.plt`` under ``root`` (sorted for
     determinism), assigning sequential ids; files with fewer than
-    ``min_points`` valid rows are skipped."""
-    root = Path(root)
-    files = sorted(root.rglob("*.plt"))
-    trajs: List[Trajectory] = []
-    for path in files:
-        if max_trajectories is not None and len(trajs) >= max_trajectories:
-            break
-        try:
-            t = load_plt(path, traj_id=len(trajs), max_points=max_points)
-        except ValueError:
-            continue
-        if len(t) >= min_points:
-            trajs.append(t)
-    return TrajectoryDataset(trajs)
+    ``min_points`` valid rows are skipped.  Rows come back as thin views
+    over one shared columnar buffer (see
+    :func:`load_plt_directory_columnar`)."""
+    return TrajectoryDataset(
+        load_plt_directory_columnar(root, max_trajectories, max_points, min_points)
+    )

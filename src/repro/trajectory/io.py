@@ -7,19 +7,25 @@ CSV format (one point per row)::
 JSON-lines format (one trajectory per line)::
 
     {"traj_id": 7, "points": [[x, y], [x, y], ...]}
+
+Both loaders run through **columnar ingest**: the file parses into one
+contiguous CSR block (:class:`~repro.storage.columnar.ColumnarDataset`)
+in a handful of vectorized numpy calls, and the returned
+:class:`TrajectoryDataset` holds zero-copy row views of that block —
+no per-point Python loop, no per-trajectory array allocation.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from collections import defaultdict
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import List, Union
 
 import numpy as np
 
-from .trajectory import Trajectory, TrajectoryDataset
+from ..storage.columnar import ColumnarDataset
+from .trajectory import TrajectoryDataset
 
 PathLike = Union[str, Path]
 
@@ -36,25 +42,47 @@ def save_csv(dataset: TrajectoryDataset, path: PathLike) -> None:
                 writer.writerow([traj.traj_id, seq] + [repr(float(v)) for v in point])
 
 
-def load_csv(path: PathLike) -> TrajectoryDataset:
-    """Read a point-per-row CSV produced by :func:`save_csv`."""
+def load_csv_columnar(path: PathLike) -> ColumnarDataset:
+    """Read a point-per-row CSV produced by :func:`save_csv` into one
+    contiguous columnar block.
+
+    The whole body parses in a single :func:`np.loadtxt` call against a
+    structured dtype (exact int64 ids, float64 coordinates), points are
+    ordered by ``(traj_id, seq)`` with one stable ``lexsort``, and the
+    CSR offsets fall out of ``np.unique``.
+    """
     path = Path(path)
-    rows: Dict[int, List[tuple]] = defaultdict(list)
     with path.open(newline="") as f:
-        reader = csv.reader(f)
-        header = next(reader, None)
-        if header is None:
-            return TrajectoryDataset([])
-        for row in reader:
-            traj_id = int(row[0])
-            seq = int(row[1])
-            coords = tuple(float(v) for v in row[2:])
-            rows[traj_id].append((seq, coords))
-    trajs = []
-    for traj_id in sorted(rows):
-        pts = [c for _, c in sorted(rows[traj_id], key=lambda x: x[0])]
-        trajs.append(Trajectory(traj_id, np.asarray(pts)))
-    return TrajectoryDataset(trajs)
+        header = f.readline()
+        if not header.strip():
+            return ColumnarDataset.empty(2)
+        ndim = header.count(",") - 1
+        if ndim < 1:
+            raise ValueError(f"{path}: malformed header {header!r}")
+        body = [line for line in f if line.strip()]
+    if not body:
+        return ColumnarDataset.empty(ndim)
+    dtype = np.dtype(
+        [("tid", np.int64), ("seq", np.int64), ("c", np.float64, (ndim,))]
+    )
+    data = np.loadtxt(body, delimiter=",", dtype=dtype, ndmin=1)
+    order = np.lexsort((data["seq"], data["tid"]))
+    tids = data["tid"][order]
+    coords = np.ascontiguousarray(data["c"][order].reshape(-1, ndim))
+    uniq, first_idx = np.unique(tids, return_index=True)
+    starts = np.empty(uniq.shape[0] + 1, dtype=np.int64)
+    starts[:-1] = first_idx
+    starts[-1] = tids.shape[0]
+    return ColumnarDataset(uniq.astype(np.int64, copy=True), starts, coords)
+
+
+def load_csv(path: PathLike) -> TrajectoryDataset:
+    """Read a point-per-row CSV produced by :func:`save_csv`.
+
+    Trajectories come back ordered by id, as thin views over one shared
+    columnar buffer (see :func:`load_csv_columnar`).
+    """
+    return TrajectoryDataset(load_csv_columnar(path))
 
 
 def save_jsonl(dataset: TrajectoryDataset, path: PathLike) -> None:
@@ -67,15 +95,35 @@ def save_jsonl(dataset: TrajectoryDataset, path: PathLike) -> None:
             f.write("\n")
 
 
-def load_jsonl(path: PathLike) -> TrajectoryDataset:
-    """Read a JSON-lines file produced by :func:`save_jsonl`."""
+def load_jsonl_columnar(path: PathLike) -> ColumnarDataset:
+    """Read a JSON-lines file produced by :func:`save_jsonl` into one
+    contiguous columnar block (file order preserved).
+
+    Per-line JSON decoding is unavoidable, but every decoded point list
+    lands in a single flat ``(total_points, ndim)`` float64 conversion
+    instead of one array allocation per trajectory.
+    """
     path = Path(path)
-    trajs = []
+    records = []
     with path.open() as f:
         for line in f:
             line = line.strip()
-            if not line:
-                continue
-            record = json.loads(line)
-            trajs.append(Trajectory(int(record["traj_id"]), np.asarray(record["points"])))
-    return TrajectoryDataset(trajs)
+            if line:
+                records.append(json.loads(line))
+    if not records:
+        return ColumnarDataset.empty(2)
+    ids = np.asarray([int(r["traj_id"]) for r in records], dtype=np.int64)
+    lens = np.asarray([len(r["points"]) for r in records], dtype=np.int64)
+    starts = np.zeros(ids.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lens, out=starts[1:])
+    flat: List[list] = [p for r in records for p in r["points"]]
+    coords = np.asarray(flat, dtype=np.float64)
+    if coords.ndim != 2:
+        raise ValueError(f"{path}: ragged or empty point lists")
+    return ColumnarDataset(ids, starts, coords)
+
+
+def load_jsonl(path: PathLike) -> TrajectoryDataset:
+    """Read a JSON-lines file produced by :func:`save_jsonl` (file order
+    preserved; rows are views over one shared columnar buffer)."""
+    return TrajectoryDataset(load_jsonl_columnar(path))

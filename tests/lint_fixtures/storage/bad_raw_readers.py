@@ -1,0 +1,13 @@
+"""DIT011 positive (storage scope): raw-byte readers without a pinned
+dtype — np.memmap defaults to uint8, np.fromfile to float64."""
+
+import numpy as np
+
+
+def open_block(path):
+    return np.memmap(path, mode="r")
+
+
+def read_coords(path):
+    with open(path, "rb") as f:
+        return np.fromfile(f)

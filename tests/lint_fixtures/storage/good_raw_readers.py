@@ -1,0 +1,20 @@
+"""DIT011 negative (storage scope): raw readers with the dtype pinned
+from the schema, and the self-describing .npy path."""
+
+import numpy as np
+
+SCHEMA_DTYPE = np.float64
+
+
+def open_block(path):
+    return np.memmap(path, dtype=SCHEMA_DTYPE, mode="r")
+
+
+def read_coords(path):
+    with open(path, "rb") as f:
+        return np.fromfile(f, dtype=np.int64)
+
+
+def open_npy(path):
+    # .npy header self-describes the dtype; no pin needed
+    return np.lib.format.open_memmap(path, mode="r")

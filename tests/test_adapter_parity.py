@@ -47,8 +47,9 @@ TRIES = [
 ]
 
 
-def _ids(cands):
-    return sorted(t.traj_id for t in cands)
+def _ids(trie, cands):
+    # candidates are int64 dataset-row arrays; translate to ids to compare
+    return sorted(trie.dataset.ids_of(cands))
 
 
 def _stats_tuple(s: FilterStats):
@@ -80,8 +81,8 @@ class TestThreeWayParity:
                 ref_stats, sc_stats = FilterStats(), FilterStats()
                 ref = trie.filter_candidates_reference(q, tau, adapter, ref_stats)
                 scalar = trie.filter_candidates(q, tau, adapter, sc_stats)
-                assert _ids(scalar) == _ids(ref), (name, tau, i)
-                assert _ids(batched[i]) == _ids(ref), (name, tau, i)
+                assert _ids(trie, scalar) == _ids(trie, ref), (name, tau, i)
+                assert _ids(trie, batched[i]) == _ids(trie, ref), (name, tau, i)
                 assert _stats_tuple(sc_stats) == _stats_tuple(ref_stats), (name, tau, i)
                 assert _stats_tuple(batch_stats[i]) == _stats_tuple(ref_stats), (name, tau, i)
 
@@ -94,8 +95,8 @@ class TestThreeWayParity:
         mixed = [taus[i % len(taus)] for i in range(len(queries))]
         batched = trie.filter_candidates_batch(queries, mixed, adapter, None)
         for i, q in enumerate(queries):
-            assert _ids(batched[i]) == _ids(
-                trie.filter_candidates_reference(q, mixed[i], adapter, None)
+            assert _ids(trie, batched[i]) == _ids(
+                trie, trie.filter_candidates_reference(q, mixed[i], adapter, None)
             ), (name, i)
 
     @pytest.mark.parametrize("name,make_adapter,taus", ADAPTERS, ids=[a[0] for a in ADAPTERS])
@@ -105,14 +106,14 @@ class TestThreeWayParity:
         trie, queries = trie_and_queries
         adapter = make_adapter()
         dist = adapter.distance()
-        members = [t for t in trie.verification]
         tau = taus[-1]
         for q in queries:
-            cands = set(_ids(trie.filter_candidates(q, tau, adapter, None)))
-            for t in trie.filter_candidates_reference(q, float("inf"), adapter, None):
-                if dist.compute(t.points, q) <= tau:
-                    assert t.traj_id in cands, (name, t.traj_id)
-        assert members  # the trie holds the data the queries run against
+            cands = set(_ids(trie, trie.filter_candidates(q, tau, adapter, None)))
+            for r in trie.filter_candidates_reference(q, float("inf"), adapter, None):
+                r = int(r)
+                if dist.compute(trie.dataset.points(r), q) <= tau:
+                    assert trie.dataset.id_of(r) in cands, (name, r)
+        assert len(trie)  # the trie holds the data the queries run against
 
     def test_frontier_supported_for_all_builtin_adapters(self):
         for name, make_adapter, _ in ADAPTERS:

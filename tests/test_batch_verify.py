@@ -1,16 +1,14 @@
 """Batched filter-verification vs. the per-pair pipeline.
 
-``Verifier.verify_batch`` over a :class:`TrajectoryBlock` must return the
-same matches, in the same order, with the same :class:`VerifyStats`
-counts, as calling :meth:`Verifier.verify` per candidate — for every
-verifier configuration, including fallbacks (candidates missing from the
-block, custom cell bounds with no batch equivalent).  The block cache on
-:class:`TrieIndex` must invalidate on insert/remove.
+``Verifier.verify_rows`` over a :class:`TrajectoryBlock` (stacked in the
+columnar dataset's row space) must return the same matches, in the same
+order, with the same :class:`VerifyStats` counts, as calling
+:meth:`Verifier.verify` per candidate — for every verifier configuration,
+including custom cell bounds with no batched equivalent.  The block cache
+on :class:`TrieIndex` must invalidate on insert/remove.
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 import pytest
@@ -18,11 +16,12 @@ import pytest
 from repro.baselines.mbe import MBEIndex, envelope_lower_bound
 from repro.core.adapters import get_adapter
 from repro.core.config import DITAConfig
+from repro.core.numerics import slack
 from repro.core.trie import TrieIndex
 from repro.core.verify import VerificationData, VerifyStats
 from repro.datagen import beijing_like
 from repro.kernels import TrajectoryBlock, batch_cell_bounds, batch_mbr_coverage
-from repro.core.numerics import slack
+from repro.storage.columnar import ColumnarDataset
 
 CELL_SIZE = 0.004
 TAU = 0.01
@@ -34,13 +33,18 @@ def data():
 
 
 @pytest.fixture(scope="module")
+def dataset(data):
+    return ColumnarDataset.from_trajectories(data)
+
+
+@pytest.fixture(scope="module")
 def verification(data):
     return {t.traj_id: VerificationData.of(t, CELL_SIZE) for t in data}
 
 
 @pytest.fixture(scope="module")
-def block(verification):
-    return TrajectoryBlock.from_verification(verification)
+def block(dataset):
+    return TrajectoryBlock.from_columnar(dataset, CELL_SIZE)
 
 
 def _per_pair(verifier, candidates, q, tau, verification, stats=None):
@@ -49,69 +53,56 @@ def _per_pair(verifier, candidates, q, tau, verification, stats=None):
         d = verifier.verify(t, q, tau, verification[t.traj_id],
                             verification[q.traj_id], stats)
         if d <= tau:
-            out.append((t, d))
+            out.append((t.traj_id, d))
     return out
 
 
 @pytest.mark.parametrize("distance", ["dtw", "frechet"])
 @pytest.mark.parametrize("use_mbr,use_cells", [(True, True), (True, False), (False, True), (False, False)])
-def test_batch_matches_per_pair(data, verification, block, distance, use_mbr, use_cells):
+def test_rows_match_per_pair(data, dataset, verification, block, distance, use_mbr, use_cells):
     adapter = get_adapter(distance)
     verifier = adapter.make_verifier(use_mbr_coverage=use_mbr, use_cell_filter=use_cells)
+    rows = dataset.alive_rows()
     for qi in (0, 13, 55):
         q = data[qi]
         s_loop, s_batch = VerifyStats(), VerifyStats()
         expect = _per_pair(verifier, data, q, TAU, verification, s_loop)
-        got = verifier.verify_batch(
-            data, q, TAU, verification[q.traj_id], block=block,
-            stats=s_batch, data_lookup=verification.get,
+        got = verifier.verify_rows(
+            block, dataset, rows, q.points, TAU, verification[q.traj_id], stats=s_batch
         )
-        assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
+        assert [(dataset.id_of(r), d) for r, d in got] == expect
         assert s_batch == s_loop
 
 
-def test_batch_without_block_falls_back(data, verification):
-    verifier = get_adapter("dtw").make_verifier()
-    q = data[7]
-    expect = _per_pair(verifier, data, q, TAU, verification)
-    got = verifier.verify_batch(data, q, TAU, verification[q.traj_id],
-                                block=None, data_lookup=verification.get)
-    assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
-
-
-def test_candidates_missing_from_block_fall_back(data, verification):
-    verifier = get_adapter("dtw").make_verifier()
-    partial = TrajectoryBlock.from_verification(
-        {t.traj_id: verification[t.traj_id] for t in data[: len(data) // 2]}
-    )
-    q = data[3]
-    s_loop, s_batch = VerifyStats(), VerifyStats()
-    expect = _per_pair(verifier, data, q, TAU, verification, s_loop)
-    got = verifier.verify_batch(data, q, TAU, verification[q.traj_id],
-                                block=partial, stats=s_batch,
-                                data_lookup=verification.get)
-    assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
-    assert s_batch == s_loop
-
-
-def test_custom_cell_bound_uses_per_pair_path(data, verification, block):
+def test_custom_cell_bound_uses_per_row_path(data, dataset, verification, block):
     adapter = get_adapter("dtw")
     verifier = adapter.make_verifier()
-    verifier.cell_bound_fn = lambda a, b: 0.0  # never prunes
+    calls = []
+
+    def custom_bound(cells_t, cells_q):
+        calls.append(cells_t)
+        return 0.0  # never prunes
+
+    verifier.cell_bound_fn = custom_bound
     verifier.cell_bound_kind = None
     q = data[11]
-    expect = _per_pair(verifier, data, q, TAU, verification)
-    got = verifier.verify_batch(data, q, TAU, verification[q.traj_id],
-                                block=block, data_lookup=verification.get)
-    assert [(t.traj_id, d) for t, d in got] == [(t.traj_id, d) for t, d in expect]
+    loop_verifier = adapter.make_verifier()
+    loop_verifier.cell_bound_fn = lambda a, b: 0.0
+    loop_verifier.cell_bound_kind = None
+    expect = _per_pair(loop_verifier, data, q, TAU, verification)
+    got = verifier.verify_rows(
+        block, dataset, dataset.alive_rows(), q.points, TAU, verification[q.traj_id]
+    )
+    assert [(dataset.id_of(r), d) for r, d in got] == expect
+    assert calls  # the scalar bound really ran, fed block cell segments
 
 
-def test_batch_filter_stages_match_scalar_lemmas(data, verification, block):
+def test_batch_filter_stages_match_scalar_lemmas(data, dataset, verification, block):
     """Lemma 5.4 / 5.6 matrix forms agree with the scalar implementations."""
     from repro.core.verify import cell_bound_dtw, cell_bound_frechet, mbr_coverage_ok
 
     q_data = verification[data[5].traj_id]
-    rows = block.rows_for([t.traj_id for t in data])
+    rows = dataset.alive_rows()
     tau_s = slack(TAU)
     mask = batch_mbr_coverage(block, rows, q_data.mbr.low, q_data.mbr.high, tau_s)
     for t, ok in zip(data, mask):
@@ -124,10 +115,24 @@ def test_batch_filter_stages_match_scalar_lemmas(data, verification, block):
             )
 
 
-def test_empty_candidates(data, verification, block):
+def test_empty_candidates(data, dataset, verification, block):
     verifier = get_adapter("dtw").make_verifier()
-    assert verifier.verify_batch([], data[0], TAU, verification[data[0].traj_id],
-                                 block=block) == []
+    got = verifier.verify_rows(
+        block, dataset, np.empty(0, dtype=np.int64), data[0].points, TAU,
+        verification[data[0].traj_id],
+    )
+    assert got == []
+
+
+def test_block_rows_share_dataset_row_space(data, dataset, block):
+    assert np.array_equal(block.ids, dataset.traj_ids)
+    for r in (0, 7, 41):
+        cs = block.cellset_of(r)
+        direct = VerificationData.from_points(dataset.points(r), CELL_SIZE)
+        assert np.array_equal(cs.centers, direct.cells.centers)
+        assert np.array_equal(cs.counts, direct.cells.counts)
+        assert np.array_equal(block.mbr_low[r], direct.mbr.low)
+        assert np.array_equal(block.mbr_high[r], direct.mbr.high)
 
 
 class TestBlockCache:
@@ -140,18 +145,15 @@ class TestBlockCache:
         trie.insert(extra)
         b2 = trie.batch_block()
         assert b2 is not b1
-        assert extra.traj_id in b2
+        assert extra.traj_id in b2.ids.tolist()
         assert len(b2) == len(data)
         assert trie.remove(extra.traj_id)
         b3 = trie.batch_block()
         assert b3 is not b2
-        assert extra.traj_id not in b3
-        assert len(b3) == len(data) - 1
-
-    def test_block_rows_round_trip(self, data, verification, block):
-        ids = [t.traj_id for t in data[::7]]
-        rows = block.rows_for(ids)
-        assert [int(block.ids[r]) for r in rows] == ids
+        # the tombstoned row stays in the row space but its cells are gone
+        row = len(data) - 1
+        assert int(b3.cell_starts[row + 1] - b3.cell_starts[row]) == 0
+        assert len(trie.dataset) == len(data) - 1
 
 
 def test_mbe_stacked_bounds_match_loop(data):

@@ -117,3 +117,49 @@ class TestTrace:
             == 0
         )
         assert "knn.seed" in capsys.readouterr().out
+
+
+class TestStore:
+    def test_build_inspect_verify(self, dataset_file, tmp_path, capsys):
+        import json
+
+        store_dir = tmp_path / "trips.store"
+        assert (
+            main(["store", "build", str(dataset_file), "--out", str(store_dir),
+                  "--groups", "4"])
+            == 0
+        )
+        assert "partitions" in capsys.readouterr().out
+        assert main(["store", "inspect", str(store_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_trajectories"] == 40
+        assert payload["format_version"] == 1
+        assert len(payload["partitions"]) == payload["n_partitions"]
+        assert main(["store", "verify", str(store_dir)]) == 0
+        assert "checksums match" in capsys.readouterr().out
+
+    def test_build_from_csv(self, dataset_file, tmp_path, capsys):
+        from repro.trajectory import load_jsonl, save_csv
+
+        csv_path = tmp_path / "trips.csv"
+        save_csv(load_jsonl(dataset_file), csv_path)
+        store_dir = tmp_path / "csv.store"
+        assert main(["store", "build", str(csv_path), "--out", str(store_dir)]) == 0
+        assert "40 trajectories" in capsys.readouterr().out
+
+    def test_inspect_missing_store_fails(self, tmp_path, capsys):
+        assert main(["store", "inspect", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_detects_bit_flip(self, dataset_file, tmp_path, capsys):
+        store_dir = tmp_path / "trips.store"
+        assert (
+            main(["store", "build", str(dataset_file), "--out", str(store_dir)]) == 0
+        )
+        capsys.readouterr()
+        victim = next(store_dir.rglob("coords.npy"))
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert main(["store", "verify", str(store_dir)]) == 1
+        assert "CRC32" in capsys.readouterr().err

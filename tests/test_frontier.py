@@ -56,8 +56,9 @@ def assert_parity(trie, queries, adapter, tau):
         for q, s in zip(queries, s_ref)
     ]
     got = trie.filter_candidates_batch(queries, [tau] * n, adapter, s_fro)
+    ids = trie.dataset.ids_of
     for i in range(n):
-        assert sorted(t.traj_id for t in ref[i]) == sorted(t.traj_id for t in got[i])
+        assert sorted(ids(ref[i])) == sorted(ids(got[i]))
         assert s_ref[i].nodes_visited == s_fro[i].nodes_visited, (i, s_ref[i], s_fro[i])
         assert s_ref[i].nodes_pruned == s_fro[i].nodes_pruned, (i, s_ref[i], s_fro[i])
         assert s_ref[i].candidates == s_fro[i].candidates
@@ -122,7 +123,7 @@ class TestDifferential:
         got = trie.filter_candidates_batch(queries, taus, adapter)
         for q, tau, cands in zip(queries, taus, got):
             ref = trie.filter_candidates_reference(q, tau, adapter)
-            assert sorted(t.traj_id for t in ref) == sorted(t.traj_id for t in cands)
+            assert sorted(trie.dataset.ids_of(ref)) == sorted(trie.dataset.ids_of(cands))
 
 
 class TestBatchVsLoop:
@@ -136,8 +137,8 @@ class TestBatchVsLoop:
         taus = [0.01] * 10
         batched = trie.filter_candidates_batch(queries, taus, adapter)
         looped = [trie.filter_candidates(q, t, adapter) for q, t in zip(queries, taus)]
-        assert [[t.traj_id for t in c] for c in batched] == [
-            [t.traj_id for t in c] for c in looped
+        assert [trie.dataset.ids_of(c) for c in batched] == [
+            trie.dataset.ids_of(c) for c in looped
         ]
 
     def test_searcher_batch_equals_loop(self):
@@ -211,17 +212,19 @@ class TestOverflowNodeRegression:
             level=1,
             kind="first",
             mbr=MBR.of_point(np.asarray(t_b.points[0])),
-            trajectories=[t_b],
+            rows=[1],
             max_len=4,
         )
-        root = TrieNode(level=0, children=[child], trajectories=[t_a], max_len=4)
+        root = TrieNode(level=0, children=[child], rows=[0], max_len=4)
         return TrieIndex([t_a, t_b], DITAConfig(num_pivots=2), _root=root)
 
     def test_reference_walk_emits_members_and_descends(self):
         trie = self._trie()
         ids = sorted(
-            t.traj_id for t in trie.filter_candidates_reference(
-                np.asarray([(0.5, 0.5), (0.8, 0.7)]), 10.0, DTWAdapter()
+            trie.dataset.ids_of(
+                trie.filter_candidates_reference(
+                    np.asarray([(0.5, 0.5), (0.8, 0.7)]), 10.0, DTWAdapter()
+                )
             )
         )
         assert ids == [1, 2]
@@ -247,16 +250,16 @@ class TestFallbacksAndLayout:
         q = data[0].points
         got = trie.filter_candidates_batch([q], [0.01], TweakedDTW())[0]
         ref = trie.filter_candidates_reference(q, 0.01, TweakedDTW())
-        assert [t.traj_id for t in got] == [t.traj_id for t in ref]
+        assert trie.dataset.ids_of(got) == trie.dataset.ids_of(ref)
 
     def test_config_off_uses_reference(self):
         data = list(beijing_like(60, seed=2))
         trie = TrieIndex(data, DITAConfig(use_frontier_filter=False))
         q = data[0].points
         assert sorted(
-            t.traj_id for t in trie.filter_candidates(q, 0.01, DTWAdapter())
+            trie.dataset.ids_of(trie.filter_candidates(q, 0.01, DTWAdapter()))
         ) == sorted(
-            t.traj_id for t in trie.filter_candidates_reference(q, 0.01, DTWAdapter())
+            trie.dataset.ids_of(trie.filter_candidates_reference(q, 0.01, DTWAdapter()))
         )
 
     def test_columnar_layout_counts(self):
@@ -264,7 +267,7 @@ class TestFallbacksAndLayout:
         trie = TrieIndex(data, DITAConfig(trie_fanout=3, num_pivots=2, trie_leaf_capacity=2))
         ct = trie.columnar()
         assert ct.n_nodes == trie.node_count()
-        assert len(ct.members) == len(trie.all_trajectories())
+        assert int(ct.member_rows.shape[0]) == len(trie.all_rows())
         assert ct.size_bytes() > 0
         # child CSR ranges tile [1, n_nodes) exactly once
         spans = sorted(
@@ -281,7 +284,7 @@ class TestFallbacksAndLayout:
         trie.insert(data[19])
         c2 = trie.columnar()
         assert c2 is not c1
-        assert len(c2.members) == len(c1.members) + 1
+        assert int(c2.member_rows.shape[0]) == int(c1.member_rows.shape[0]) + 1
 
     def test_query_batch_validation(self):
         with pytest.raises(ValueError):
@@ -294,4 +297,4 @@ class TestFallbacksAndLayout:
     def test_empty_trie(self):
         trie = TrieIndex([], DITAConfig())
         got = trie.filter_candidates_batch([np.zeros((3, 2))], [1.0], DTWAdapter())
-        assert got == [[]]
+        assert len(got) == 1 and int(got[0].shape[0]) == 0

@@ -141,7 +141,10 @@ class TestTieAtThreshold:
         )
         # b fills the heap first; a then ties b's distance exactly and must
         # displace it on the id tie-break
-        got = [(t.traj_id, d) for t, d in _exact_top_k(engine, query, 1, [b, a])]
+        pid = engine.partition_pids()[0]
+        part = engine.partition(pid)
+        pool = [(part, part.row_of(b.traj_id)), (part, part.row_of(a.traj_id))]
+        got = [(t.traj_id, d) for t, d in _exact_top_k(engine, query, 1, pool)]
         want = brute_force_knn(data, query, 1)
         assert [g[0] for g in got] == [w[0] for w in want] == [2]
         assert got[0][1] == want[0][1]

@@ -296,6 +296,18 @@ class TestInterprocFixtures:
         kept, _ = lint_fixture("kernels/good_dtypes.py")
         assert kept == []
 
+    def test_dit011_raw_byte_readers(self):
+        kept, _ = lint_fixture("storage/bad_raw_readers.py")
+        hits = [f for f in kept if f.rule_id == "DIT011"]
+        messages = "\n".join(f.message for f in hits)
+        assert len(hits) == 2
+        assert "numpy.memmap() reads raw bytes" in messages
+        assert "numpy.fromfile() reads raw bytes" in messages
+
+    def test_dit011_raw_readers_clean_with_pinned_or_npy(self):
+        kept, _ = lint_fixture("storage/good_raw_readers.py")
+        assert kept == []
+
     def test_dit012_bare_suppressions(self):
         kept, _ = lint_fixture("anywhere/bad_bare_suppression.py")
         hits = [f for f in kept if f.rule_id == "DIT012"]

@@ -93,7 +93,9 @@ class TestIndexStructure:
     def test_every_trajectory_indexed_once(self, trajs, ng, k):
         engine = DITAEngine(trajs, _cfg(ng, k))
         stored = sorted(
-            t.traj_id for trie in engine.tries.values() for t in trie.all_trajectories()
+            int(i)
+            for trie in engine.tries.values()
+            for i in trie.dataset.ids_of(np.asarray(trie.all_rows(), dtype=np.int64))
         )
         assert stored == sorted(t.traj_id for t in trajs)
 

@@ -14,6 +14,16 @@ from repro.distances.frechet import frechet
 from repro.trajectory import Trajectory
 
 
+def _all_ids(trie):
+    rows = np.asarray(trie.all_rows(), dtype=np.int64)
+    return [int(i) for i in trie.dataset.ids_of(rows)]
+
+
+def _cand_ids(trie, q_pts, tau, adapter, stats=None):
+    rows = trie.filter_candidates(q_pts, tau, adapter, stats)
+    return {int(i) for i in trie.dataset.ids_of(rows)}
+
+
 @pytest.fixture(scope="module")
 def walks():
     return random_walk_dataset(60, avg_len=10, seed=13)
@@ -27,7 +37,7 @@ def trie(walks):
 
 class TestConstruction:
     def test_all_trajectories_reachable_exactly_once(self, trie, walks):
-        stored = sorted(t.traj_id for t in trie.all_trajectories())
+        stored = sorted(_all_ids(trie))
         assert stored == sorted(t.traj_id for t in walks)
 
     def test_height_bounded(self, trie):
@@ -43,12 +53,16 @@ class TestConstruction:
         trajs.append(Trajectory(99, [(0, 0), (1, 1), (2, 0), (3, 3), (4, 0), (5, 5)]))
         cfg = DITAConfig(trie_fanout=2, num_pivots=3, trie_leaf_capacity=1, cell_size=0.5)
         trie = TrieIndex(trajs, cfg)
-        assert sorted(t.traj_id for t in trie.all_trajectories()) == sorted(
-            t.traj_id for t in trajs
-        )
+        assert sorted(_all_ids(trie)) == sorted(t.traj_id for t in trajs)
 
-    def test_verification_data_for_every_trajectory(self, trie, walks):
-        assert set(trie.verification) == {t.traj_id for t in walks}
+    def test_verification_artifacts_for_every_trajectory(self, trie, walks):
+        """The stacked block covers every dataset row with a non-empty
+        cell run (verification artifacts are derived per row)."""
+        block = trie.batch_block()
+        assert sorted(block.ids.tolist()) == sorted(t.traj_id for t in walks)
+        runs = np.diff(block.cell_starts)
+        for r in trie.dataset.alive_rows():
+            assert runs[int(r)] > 0
 
     def test_size_bytes_positive(self, trie):
         assert trie.size_bytes() > 0
@@ -60,7 +74,7 @@ class TestConstruction:
 class TestFiltering:
     def _check_no_false_negatives(self, trie, walks, adapter, dist_fn, tau):
         for q in list(walks)[:10]:
-            candidates = {t.traj_id for t in trie.filter_candidates(q.points, tau, adapter)}
+            candidates = _cand_ids(trie, q.points, tau, adapter)
             for t in walks:
                 if dist_fn(t.points, q.points) <= tau:
                     assert t.traj_id in candidates, (t.traj_id, q.traj_id)
@@ -79,7 +93,7 @@ class TestFiltering:
     def test_self_query_always_candidate(self, trie, walks):
         adapter = DTWAdapter()
         for q in list(walks)[:10]:
-            ids = {t.traj_id for t in trie.filter_candidates(q.points, 0.0, adapter)}
+            ids = _cand_ids(trie, q.points, 0.0, adapter)
             assert q.traj_id in ids
 
     def test_filter_prunes_something(self, trie, walks):
@@ -87,7 +101,7 @@ class TestFiltering:
         adapter = DTWAdapter()
         q = walks[0]
         candidates = trie.filter_candidates(q.points, 1e-6, adapter)
-        assert len(candidates) < len(walks)
+        assert int(candidates.shape[0]) < len(walks)
 
     def test_stats_populated(self, trie, walks):
         stats = FilterStats()
@@ -98,8 +112,8 @@ class TestFiltering:
     def test_monotone_in_tau(self, trie, walks):
         adapter = DTWAdapter()
         q = walks[3]
-        small = {t.traj_id for t in trie.filter_candidates(q.points, 0.01, adapter)}
-        large = {t.traj_id for t in trie.filter_candidates(q.points, 0.5, adapter)}
+        small = _cand_ids(trie, q.points, 0.01, adapter)
+        large = _cand_ids(trie, q.points, 0.5, adapter)
         assert small <= large
 
 
@@ -114,8 +128,8 @@ class TestParameterEffects:
         trie0 = TrieIndex(data, cfg0)
         trie4 = TrieIndex(data, cfg4)
         for q in data[:6]:
-            c0 = {t.traj_id for t in trie0.filter_candidates(q.points, tau, DTWAdapter())}
-            c4 = {t.traj_id for t in trie4.filter_candidates(q.points, tau, DTWAdapter())}
+            c0 = _cand_ids(trie0, q.points, tau, DTWAdapter())
+            c4 = _cand_ids(trie4, q.points, tau, DTWAdapter())
             assert c4 <= c0
 
     def test_leaf_capacity_controls_depth(self):
@@ -142,7 +156,7 @@ class TestMutationVersioning:
 
     def test_equal_size_remove_insert_refreshes_caches(self):
         trie, extra = self._trie_and_extra()
-        victim = trie.all_trajectories()[0].traj_id
+        victim = _all_ids(trie)[0]
         block_before = trie.batch_block()
         columnar_before = trie.columnar()
         assert trie.remove(victim)
@@ -151,19 +165,18 @@ class TestMutationVersioning:
         columnar_after = trie.columnar()
         assert block_after is not block_before
         assert columnar_after is not columnar_before
-        member_ids = {t.traj_id for t in columnar_after.members}
+        member_ids = {
+            int(i) for i in trie.dataset.ids_of(columnar_after.member_rows)
+        }
         assert extra.traj_id in member_ids
         assert victim not in member_ids
 
     def test_filtering_sees_replacement(self):
         trie, extra = self._trie_and_extra()
-        victim = trie.all_trajectories()[0].traj_id
+        victim = _all_ids(trie)[0]
         trie.filter_candidates(extra.points, 0.1, DTWAdapter())  # warm caches
         trie.remove(victim)
         trie.insert(extra)
-        ids = {
-            t.traj_id
-            for t in trie.filter_candidates(extra.points, 100.0, DTWAdapter())
-        }
+        ids = _cand_ids(trie, extra.points, 100.0, DTWAdapter())
         assert extra.traj_id in ids
         assert victim not in ids

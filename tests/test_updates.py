@@ -22,6 +22,11 @@ def _brute(data, q, tau):
     return sorted(t.traj_id for t in data if d.compute(t.points, q.points) <= tau)
 
 
+def _indexed_ids(trie):
+    rows = np.asarray(trie.all_rows(), dtype=np.int64)
+    return {int(i) for i in trie.dataset.ids_of(rows)}
+
+
 class TestTrieInsert:
     def test_insert_found_by_filter(self, cfg):
         base = list(beijing_like(30, seed=1))
@@ -31,7 +36,7 @@ class TestTrieInsert:
         from repro.core.adapters import DTWAdapter
 
         candidates = trie.filter_candidates(base[0].points, 0.01, DTWAdapter())
-        assert 999 in {t.traj_id for t in candidates}
+        assert 999 in {int(i) for i in trie.dataset.ids_of(candidates)}
         assert len(trie) == 31
 
     def test_duplicate_insert_rejected(self, cfg):
@@ -48,7 +53,7 @@ class TestTrieInsert:
         for i in range(30):
             trie.insert(Trajectory(500 + i, base[0].points + i * 1e-6))
         assert trie.node_count() > nodes_before
-        assert sorted(t.traj_id for t in trie.all_trajectories()) == sorted(
+        assert sorted(_indexed_ids(trie)) == sorted(
             [t.traj_id for t in base] + [500 + i for i in range(30)]
         )
 
@@ -56,7 +61,7 @@ class TestTrieInsert:
         base = list(beijing_like(10, seed=3))
         trie = TrieIndex(base, cfg)
         trie.insert(Trajectory(700, [(0.1, 0.1)]))
-        assert 700 in {t.traj_id for t in trie.all_trajectories()}
+        assert 700 in _indexed_ids(trie)
 
 
 class TestTrieRemove:
@@ -64,7 +69,7 @@ class TestTrieRemove:
         base = list(beijing_like(20, seed=4))
         trie = TrieIndex(base, cfg)
         assert trie.remove(base[5].traj_id)
-        assert base[5].traj_id not in {t.traj_id for t in trie.all_trajectories()}
+        assert base[5].traj_id not in _indexed_ids(trie)
         assert len(trie) == 19
 
     def test_remove_absent(self, cfg):
