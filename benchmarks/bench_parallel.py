@@ -1,0 +1,343 @@
+"""Process-pool backend benchmarks: wall-clock and simulated speedup.
+
+Measures the three query panels — batched search, join, kNN — on a
+10k-trajectory store, sequential (``backend="simulated"``, inline
+execution) vs ``backend="process"`` at 1/2/4/8 workers, and reports two
+speedup series per panel:
+
+* **wall**: measured wall-clock, min-of-reps after a warm-up run (the
+  pool is spawned and worker tries are built before the clock starts).
+  Only meaningful when the machine actually has that many cores —
+  ``meta.cpu_count`` records what the run had, and the gates below pick
+  the honest series accordingly.
+* **sim**: the cluster simulator's makespan at the same worker count
+  (max worker busy time under the deterministic cost model).  This is
+  machine-independent: it measures how well the task decomposition and
+  *static placement* can scale, and is byte-identical across backends by
+  the parity contract.
+* **pool**: :func:`repro.cluster.parallel.schedule_makespan` — a
+  deterministic replay of the pool's work-stealing dispatch loop over
+  the job's actual task costs (the same unit-cost model the simulator
+  charges).  This is the makespan the process pool's scheduler would
+  measure on that many dedicated cores with zero dispatch overhead; it
+  is the honest scaling series on machines with fewer cores than
+  workers, and it is what separates the stealing scheduler from static
+  placement (hot partitions bound **sim**, only chunk granularity
+  bounds **pool**).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py            # full
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke \
+        --check-workers 2 --floor 1.5                             # CI gate
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --check benchmarks/BENCH_parallel.json --no-run           # JSON gate
+
+Gates:
+
+* ``--check-workers N --floor X`` gates the *fresh* run: the join
+  panel's speedup at N workers must be >= X.  ``--series`` picks the
+  series (default ``auto``: wall when the machine has >= N cores, the
+  machine-independent pool series otherwise).
+* ``--check FILE`` gates the *committed* JSON the same way: its join
+  panel must show >= 2x at 4 workers (wall if it was recorded on a
+  >= 4-core machine, pool otherwise).  ``--no-run`` skips measuring.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster import Cluster, schedule_makespan
+from repro.core.config import DITAConfig
+from repro.core.engine import DITAEngine
+from repro.core.knn import knn_search
+from repro.datagen import citywide_dataset, sample_queries
+from repro.storage.store import TrajectoryStore, build_store
+from repro.trajectory import TrajectoryDataset
+
+N_GROUPS = 8
+TAU_SEARCH = 0.003
+TAU_JOIN = 0.002
+KNN_K = 10
+#: the committed-JSON acceptance floor (ISSUE 8): >= 2x at 4 workers on join
+GATE_WORKERS = 4
+GATE_FLOOR = 2.0
+
+
+def _cfg(backend: str, workers: int = 0) -> DITAConfig:
+    return DITAConfig(
+        num_global_partitions=N_GROUPS,
+        trie_fanout=8,
+        num_pivots=4,
+        trie_leaf_capacity=8,
+        cell_size=0.004,
+        backend=backend,
+        num_processes=workers,
+    )
+
+
+def best_of(fn: Callable[[], object], reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _stage(workdir: Path, n: int, n_right: int) -> Dict:
+    data = citywide_dataset(n, avg_len=24, seed=11, min_len=4, max_len=64)
+    store_path = workdir / "store"
+    build_store(data, store_path, n_groups=N_GROUPS)
+    return {
+        "store": store_path,
+        "queries": sample_queries(TrajectoryDataset(data), 8, seed=5, perturb=0.0002),
+        "right": citywide_dataset(n_right, avg_len=24, seed=13, min_len=4, max_len=64),
+    }
+
+
+def _panel_ops(staged: Dict) -> Dict[str, Callable[[DITAEngine, DITAEngine], object]]:
+    queries = staged["queries"]
+    return {
+        "search": lambda eng, right: eng.search_batch_rows(
+            queries, [TAU_SEARCH] * len(queries)
+        ),
+        "join": lambda eng, right: eng.join(right, TAU_JOIN),
+        "knn": lambda eng, right: [knn_search(eng, q, KNN_K) for q in queries[:3]],
+    }
+
+
+def _wall_engine(staged: Dict, backend: str, workers: int) -> DITAEngine:
+    return DITAEngine.from_store(
+        TrajectoryStore.open(staged["store"]), _cfg(backend, workers), "dtw"
+    )
+
+
+def bench_wall(staged: Dict, workers_list: List[int], reps: int) -> Dict[str, Dict]:
+    """Wall-clock per panel: sequential inline baseline, then the process
+    pool at each worker count.  Each engine is warmed with the exact
+    panel op before timing, so pool spawn and lazy trie builds are paid
+    off the clock."""
+    ops = _panel_ops(staged)
+    right = DITAEngine(staged["right"], _cfg("simulated"), "dtw")
+    panels: Dict[str, Dict] = {p: {"rows": []} for p in ops}
+    seq = _wall_engine(staged, "simulated", 0)
+    try:
+        for panel, op in ops.items():
+            op(seq, right)  # warm-up
+            panels[panel]["sequential_wall_s"] = best_of(lambda: op(seq, right), reps)
+            print(
+                f"  {panel:<7} sequential        "
+                f"{panels[panel]['sequential_wall_s']:8.3f} s"
+            )
+    finally:
+        seq.shutdown()
+    for w in workers_list:
+        eng = _wall_engine(staged, "process", w)
+        try:
+            for panel, op in ops.items():
+                op(eng, right)  # warm-up: spawns the pool, builds worker tries
+                wall = best_of(lambda: op(eng, right), reps)
+                base = panels[panel]["sequential_wall_s"]
+                panels[panel]["rows"].append(
+                    {
+                        "workers": w,
+                        "wall_s": wall,
+                        "wall_speedup": base / wall if wall > 0 else float("inf"),
+                    }
+                )
+                print(
+                    f"  {panel:<7} workers={w:<2}        {wall:8.3f} s   "
+                    f"{panels[panel]['rows'][-1]['wall_speedup']:5.2f}x wall"
+                )
+        finally:
+            eng.shutdown()
+    right.shutdown()
+    return panels
+
+
+#: the task tags whose bodies the process pool executes
+POOL_TAGS = ("search.partition", "join.chunk", "knn.seed")
+#: the simulator's unit task cost (seconds per unit of work)
+UNIT_COST_S = 1e-3
+
+
+def bench_sim(staged: Dict, workers_list: List[int], panels: Dict[str, Dict]) -> None:
+    """Machine-independent series per panel and worker count: the cluster
+    simulator's makespan (static placement) and the pool scheduler's
+    replayed makespan over the same task costs.  Backend-neutral (parity
+    makes the charges identical), so it runs inline."""
+    ops = _panel_ops(staged)
+    base: Dict[str, float] = {}
+    works: Dict[str, List[float]] = {}
+    for w in [1] + [w for w in workers_list if w != 1]:
+        eng = DITAEngine.from_store(
+            TrajectoryStore.open(staged["store"]),
+            _cfg("simulated"),
+            "dtw",
+            cluster=Cluster(n_workers=w),
+        )
+        right = DITAEngine(staged["right"], _cfg("simulated"), "dtw")
+        if w == 1:
+            # record every pool-executed task's cost once, off the w=1 run
+            recorded = works
+            cluster = eng.cluster
+            run_local, run_on_worker = cluster.run_local, cluster.run_on_worker
+            current_panel: List[str] = [""]
+
+            def spy(orig):
+                def wrapped(target, body, work=0.0, tag=""):
+                    if tag in POOL_TAGS:
+                        recorded[current_panel[0]].append(float(work) * UNIT_COST_S)
+                    return orig(target, body, work=work, tag=tag)
+
+                return wrapped
+
+            cluster.run_local = spy(run_local)
+            cluster.run_on_worker = spy(run_on_worker)
+        try:
+            for panel, op in ops.items():
+                if w == 1:
+                    works[panel] = []
+                    current_panel[0] = panel
+                eng.cluster.reset_clocks()
+                op(eng, right)
+                makespan = eng.cluster.report().makespan
+                if w == 1:
+                    base[panel] = makespan
+                for row in panels[panel]["rows"]:
+                    if row["workers"] == w:
+                        row["sim_makespan_s"] = makespan
+                        row["sim_speedup"] = (
+                            base[panel] / makespan if makespan > 0 else float("inf")
+                        )
+                        pool_1 = schedule_makespan(works[panel], 1)
+                        pool_w = schedule_makespan(works[panel], w)
+                        row["pool_makespan_s"] = pool_w
+                        row["pool_speedup"] = (
+                            pool_1 / pool_w if pool_w > 0 else float("inf")
+                        )
+                        print(
+                            f"  {panel:<7} workers={w:<2} sim {makespan:9.4f} s "
+                            f"({row['sim_speedup']:5.2f}x)   pool {pool_w:9.4f} s "
+                            f"({row['pool_speedup']:5.2f}x)"
+                        )
+        finally:
+            eng.shutdown()
+            right.shutdown()
+
+
+def _effective_speedup(row: Dict, cpu_count: int, series: str) -> tuple:
+    """(series name, speedup).  ``auto`` picks wall when the run had the
+    cores to show it and the machine-independent pool series otherwise."""
+    if series == "auto":
+        series = "wall" if cpu_count >= row["workers"] else "pool"
+    return series, row.get(f"{series}_speedup", 0.0)
+
+
+def _gate(result: Dict, workers: int, floor: float, label: str, series: str) -> int:
+    rows = [r for r in result["panels"]["join"]["rows"] if r["workers"] == workers]
+    if not rows:
+        print(f"GATE FAIL ({label}): no join measurement at {workers} workers")
+        return 1
+    series, speedup = _effective_speedup(rows[0], result["meta"]["cpu_count"], series)
+    if speedup < floor:
+        print(
+            f"GATE FAIL ({label}): join {series} speedup {speedup:.2f}x at "
+            f"{workers} workers is below the {floor:.1f}x floor"
+        )
+        return 1
+    print(
+        f"gate OK ({label}): join {series} speedup {speedup:.2f}x at "
+        f"{workers} workers >= {floor:.1f}x"
+    )
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="CI-sized run")
+    ap.add_argument("--out", type=Path, default=None, help="output JSON path")
+    ap.add_argument(
+        "--check", type=Path, default=None,
+        help="committed BENCH_parallel.json to gate (>=2x at 4 workers on join)",
+    )
+    ap.add_argument(
+        "--no-run", action="store_true",
+        help="with --check: gate the committed JSON without measuring",
+    )
+    ap.add_argument(
+        "--check-workers", type=int, default=None,
+        help="gate the fresh run's join panel at this worker count",
+    )
+    ap.add_argument(
+        "--floor", type=float, default=1.5,
+        help="speedup floor for --check-workers (default 1.5)",
+    )
+    ap.add_argument(
+        "--series", choices=("auto", "wall", "sim", "pool"), default="auto",
+        help="speedup series the gates read (default auto: wall when the "
+             "machine has the cores, pool otherwise)",
+    )
+    args = ap.parse_args()
+
+    rc = 0
+    if args.check is not None:
+        committed = json.loads(args.check.read_text())
+        rc |= _gate(
+            committed, GATE_WORKERS, GATE_FLOOR,
+            f"committed {args.check.name}", args.series,
+        )
+        if args.no_run:
+            return rc
+
+    n, n_right = (1_500, 120) if args.smoke else (10_000, 400)
+    workers_list = [1, 2] if args.smoke else [1, 2, 4, 8]
+    reps = 1 if args.smoke else 2
+    workdir = Path(tempfile.mkdtemp(prefix="bench_parallel_"))
+    try:
+        print(f"== staging: {n}-trajectory store, {n_right}-trajectory join side ==")
+        staged = _stage(workdir, n, n_right)
+        print("== wall clock (min-of-reps, warm pool) ==")
+        panels = bench_wall(staged, workers_list, reps)
+        print("== simulated makespan (deterministic cost model) ==")
+        bench_sim(staged, workers_list, panels)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    result = {
+        "meta": {
+            "smoke": args.smoke,
+            "reps": reps,
+            "n": n,
+            "n_right": n_right,
+            "n_groups": N_GROUPS,
+            "tau_search": TAU_SEARCH,
+            "tau_join": TAU_JOIN,
+            "knn_k": KNN_K,
+            "workers": workers_list,
+            "cpu_count": os.cpu_count() or 1,
+            "timer": "min-of-reps perf_counter; sim = cluster makespan",
+        },
+        "panels": panels,
+    }
+    out_path = args.out or Path(__file__).resolve().parent / "BENCH_parallel.json"
+    out_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    if args.check_workers is not None:
+        rc |= _gate(result, args.check_workers, args.floor, "fresh run", args.series)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli store build trips.jsonl --out trips.store --groups 8
     python -m repro.cli store inspect trips.store
     python -m repro.cli store verify trips.store
+    python -m repro.cli bench --kind citywide --n 2000 --mode join --tau 0.002
     python -m repro.cli lint src/
 
 Datasets are JSON-lines files (see :mod:`repro.trajectory.io`).
@@ -43,6 +44,8 @@ def _engine(dataset: TrajectoryDataset, args: argparse.Namespace) -> DITAEngine:
         num_global_partitions=args.partitions,
         trie_fanout=args.fanout,
         num_pivots=args.pivots,
+        backend=args.backend,
+        num_processes=args.workers,
     )
     return DITAEngine(dataset, config, distance=args.distance)
 
@@ -52,6 +55,14 @@ def _add_engine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--partitions", type=int, default=4, help="NG, global partition groups")
     p.add_argument("--fanout", type=int, default=8, help="NL, trie fanout")
     p.add_argument("--pivots", type=int, default=4, help="K, pivots per trajectory")
+    p.add_argument(
+        "--backend", default="simulated", choices=["simulated", "process"],
+        help="task execution backend (process = real multi-core pool)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for --backend process (0 = all cores)",
+    )
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -129,6 +140,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         trie_fanout=args.fanout,
         num_pivots=args.pivots,
         use_tracing=True,
+        backend=args.backend,
+        num_processes=args.workers,
     )
     engine = DITAEngine(dataset, config, distance=args.distance)
     if args.mode == "search":
@@ -201,6 +214,51 @@ def cmd_store_verify(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(f"{args.store}: all block checksums match the catalog")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    dataset = _GENERATORS[args.kind](args.n, seed=args.seed)
+    queries = list(dataset)[: args.queries]
+
+    def measure(backend: str, workers: int = 0) -> float:
+        config = DITAConfig(
+            num_global_partitions=args.partitions,
+            trie_fanout=args.fanout,
+            num_pivots=args.pivots,
+            backend=backend,
+            num_processes=workers,
+        )
+        engine = DITAEngine(dataset, config, distance=args.distance)
+        try:
+            if args.mode == "search":
+                op = lambda: [engine.search(q, args.tau) for q in queries]  # noqa: E731
+            elif args.mode == "join":
+                op = lambda: engine.self_join(args.tau)  # noqa: E731
+            else:
+                op = lambda: [knn_search(engine, q, args.k) for q in queries]  # noqa: E731
+            op()  # warm-up: spawns the pool and builds worker tries
+            best = float("inf")
+            for _ in range(args.reps):
+                t0 = time.perf_counter()
+                op()
+                best = min(best, time.perf_counter() - t0)
+            return best
+        finally:
+            engine.shutdown()
+
+    base = measure("simulated")
+    print(
+        f"{args.mode} on {args.n} {args.kind} trajectories "
+        f"({args.distance}, {os.cpu_count()} cpus, min of {args.reps} reps)"
+    )
+    print(f"  sequential (simulated backend)   {base:8.3f} s")
+    for w in args.worker_counts:
+        t = measure("process", w)
+        print(f"  process backend, {w:>2} workers     {t:8.3f} s   {base / t:5.2f}x")
     return 0
 
 
@@ -279,6 +337,28 @@ def build_parser() -> argparse.ArgumentParser:
     q = store_sub.add_parser("verify", help="check every block's CRC32 against the catalog")
     q.add_argument("store")
     q.set_defaults(fn=cmd_store_verify)
+
+    p = sub.add_parser(
+        "bench", help="compare the simulated and process backends on a synthetic workload"
+    )
+    p.add_argument("--kind", choices=sorted(_GENERATORS), default="citywide")
+    p.add_argument("--n", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--mode", choices=["search", "join", "knn"], default="join")
+    p.add_argument("--tau", type=float, default=0.002)
+    p.add_argument("--k", type=int, default=5, help="k for --mode knn")
+    p.add_argument("--queries", type=int, default=4, help="queries for search/knn modes")
+    p.add_argument("--reps", type=int, default=2, help="timed repetitions (min is kept)")
+    p.add_argument(
+        "--worker-counts", type=lambda s: [int(x) for x in s.split(",")],
+        default=[1, 2, 4], metavar="N,N,...",
+        help="process-pool sizes to measure (default 1,2,4)",
+    )
+    p.add_argument("--distance", default="dtw", choices=["dtw", "frechet", "hausdorff", "edr", "lcss", "erp"])
+    p.add_argument("--partitions", type=int, default=4, help="NG, global partition groups")
+    p.add_argument("--fanout", type=int, default=8, help="NL, trie fanout")
+    p.add_argument("--pivots", type=int, default=4, help="K, pivots per trajectory")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("lint", help="run the ditalint static-analysis suite")
     from .devtools.lint.cli import add_lint_arguments

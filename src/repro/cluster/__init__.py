@@ -18,24 +18,43 @@ from .faults import (
 )
 from .metrics import ExecutionReport
 from .network import NetworkModel
+from .parallel import (
+    ExecutorError,
+    ParallelExecutor,
+    SideInit,
+    TaskResult,
+    WorkerInit,
+    schedule_makespan,
+)
 from .partitioner import DITAPartitioner, RandomPartitioner
 from .simulator import Cluster, Worker
+from .tasks import TaskSpec, pickle_budget, register_task_kind, run_task_body
 
 __all__ = [
     "Cluster",
     "DITAPartitioner",
     "ExecutionReport",
+    "ExecutorError",
     "FaultPlan",
     "FaultReport",
     "FaultSession",
     "NetworkModel",
+    "ParallelExecutor",
     "PartitionLostError",
     "RandomPartitioner",
     "RecoveryPolicy",
+    "SideInit",
     "Stopwatch",
     "TaskAbandonedError",
+    "TaskResult",
+    "TaskSpec",
     "Worker",
+    "WorkerInit",
     "make_fixed_cost_measure",
+    "pickle_budget",
+    "register_task_kind",
+    "run_task_body",
+    "schedule_makespan",
     "unit_cost_measure",
     "wall_clock",
     "wall_clock_measure",

@@ -200,6 +200,10 @@ class FaultReport:
     task_failures: int = 0
     message_drops: int = 0
     stragglers: int = 0
+    #: *real* execution-backend failures (process-pool worker crashes,
+    #: unpicklable results) surfaced as typed ExecutorError — counted by
+    #: the cluster, not the simulated fault plan
+    executor_failures: int = 0
     # recovery actions
     task_retries: int = 0
     message_resends: int = 0
@@ -248,6 +252,7 @@ class FaultReport:
     def merge(self, other: "FaultReport") -> None:
         for f in (
             "worker_crashes", "task_failures", "message_drops", "stragglers",
+            "executor_failures",
             "task_retries", "message_resends", "recovered_partitions",
             "rerouted_tasks", "abandoned_tasks", "speculative_tasks",
             "speculative_wins", "wasted_compute_s", "backoff_wait_s",

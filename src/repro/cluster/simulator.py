@@ -163,6 +163,9 @@ class Cluster:
         #: lineage rebuild closures: partition id -> (fn, work units)
         self._rebuilds: Dict[int, Tuple[Callable[[], Any], float]] = {}
         self._faults: Optional[FaultSession] = None
+        #: real execution-backend failures noted since the last reset
+        #: (process-pool crashes surfaced as typed ExecutorError)
+        self._executor_failures = 0
         #: span tracer (None on an untraced cluster — the near-zero-cost
         #: gate every recording site checks first)
         self.tracer: "Optional[Tracer]" = None
@@ -239,9 +242,23 @@ class Cluster:
         for w in self.workers:
             w.alive = True
 
+    def note_executor_failure(self) -> None:
+        """Record a *real* execution-backend failure (a process-pool
+        worker crash or unpicklable result, surfaced to the caller as a
+        typed :class:`~repro.cluster.parallel.ExecutorError`) so it shows
+        up in the job's fault accounting alongside the simulated faults."""
+        self._executor_failures += 1
+
     def fault_report(self) -> Optional[FaultReport]:
-        """Snapshot of the session's fault accounting (None if no plan)."""
-        return self._faults.report.copy() if self._faults else None
+        """Snapshot of the fault accounting: the session's report (when a
+        plan is installed) plus any real executor failures; None when
+        neither has anything to say."""
+        rep = self._faults.report.copy() if self._faults else None
+        if self._executor_failures:
+            if rep is None:
+                rep = FaultReport()
+            rep.executor_failures = self._executor_failures
+        return rep
 
     def register_rebuild(
         self, partition_id: int, fn: Callable[[], Any], work: float = 1.0
@@ -618,6 +635,7 @@ class Cluster:
         for w in self.workers:
             w.reset()
         self._report = ExecutionReport()
+        self._executor_failures = 0
         if self._faults is not None:
             self._faults.reset()
         if self.tracer is not None:

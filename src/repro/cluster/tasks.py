@@ -1,0 +1,215 @@
+"""The task-description layer shared by both execution backends.
+
+Every per-partition unit of work the engine schedules — a partition's
+share of a search, one replica chunk of a join, a kNN seeding batch — is
+described by a picklable :class:`TaskSpec` and executed by
+:func:`run_task_body` against a *resolver*: an object that turns the
+spec's ``(side, partition id, row ids)`` references into live searchers,
+datasets and verification artifacts.
+
+Two resolvers exist:
+
+* the engine's ``_LocalResolver`` (``backend="simulated"``) resolves
+  against the coordinator's own partitions and tries, so the body runs
+  inline exactly as it always has;
+* :class:`repro.cluster.parallel.WorkerState` (``backend="process"``)
+  resolves against the worker process's *own* memory-mapped view of the
+  same :class:`~repro.storage.store.TrajectoryStore` blocks and its own
+  lazily built tries.
+
+Because both backends run the same body over bit-identical block bytes,
+their results and stats are bit-identical; only *where* the body runs
+differs.
+
+The payload discipline is the backbone of the zero-copy guarantee: a
+spec may carry query point arrays (queries originate at the coordinator
+and must cross), but never dataset coordinates — join and kNN-seed specs
+reference sender trajectories as ``(side, partition id, row ids)`` and
+the worker reads the points out of its own mapped block.
+:func:`pickle_budget` turns that discipline into an enforceable bound:
+the process pool refuses any spec whose pickle exceeds its kind's
+budget, so a regression that starts shipping coordinates fails loudly.
+
+Task kinds are registered with :func:`register_task_kind`, which
+ditalint's DIT007 treats as a task-body submission site: worker entry
+points obey the same wall-clock/entropy purity rules as simulated task
+closures.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+#: registered task bodies: kind -> fn(spec, resolver) -> result
+_TASK_KINDS: Dict[str, Callable[["TaskSpec", Any], Any]] = {}
+
+#: pickle-size allowance independent of payload contents (spec scaffolding,
+#: pickle framing, tuple overhead); deliberately generous so the guard only
+#: trips on actual data smuggling, never on framing drift
+_BASE_BUDGET = 8 * 1024
+#: per-row allowance for payloads that reference rows by id (int64 + framing)
+_PER_ROW_BUDGET = 64
+#: per-query allowance on top of the query's coordinate bytes
+_PER_QUERY_BUDGET = 512
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of work, identical across backends.
+
+    ``side`` and ``partition_id`` name the partition the task runs *on*
+    (the receiver, for a join chunk); the payload is kind-specific and
+    must stay picklable and coordinate-free except for query points.
+    """
+
+    task_id: int
+    kind: str
+    side: str  # "L" (this engine) or "R" (the join counterpart)
+    partition_id: int
+    payload: Tuple[Any, ...]
+
+
+def register_task_kind(kind: str, fn: Callable[[TaskSpec, Any], Any]) -> None:
+    """Register ``fn`` as the body executed for ``kind`` tasks.
+
+    The registration is a submission site for ditalint's DIT007: ``fn``
+    is a task body and must not reach the wall clock or OS entropy."""
+    if kind in _TASK_KINDS:
+        raise ValueError(f"task kind {kind!r} already registered")
+    _TASK_KINDS[kind] = fn
+
+
+def run_task_body(spec: TaskSpec, resolver: Any) -> Any:
+    """Execute ``spec`` against ``resolver`` — the single entry point both
+    the simulated backend (inline) and the process workers call."""
+    try:
+        fn = _TASK_KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown task kind {spec.kind!r}") from None
+    return fn(spec, resolver)
+
+
+# ---------------------------------------------------------------------- #
+# task bodies
+# ---------------------------------------------------------------------- #
+
+
+def _search_body(spec: TaskSpec, res: Any) -> Any:
+    """One partition's share of a (batched) threshold search.
+
+    Payload: ``(q_points_tuple, taus_tuple, track)`` where each entry of
+    ``q_points_tuple`` is one query's raw point array.  Returns
+    ``(match_lists, stats_list)``: accepted ``(row, distance)`` pairs and
+    a fresh SearchStats per query (``None`` when ``track`` is off).
+    """
+    from ..core.search import SearchStats
+
+    q_points_list, taus, track = spec.payload
+    searcher = res.searcher(spec.side, spec.partition_id)
+    q_datas = [res.query_data(pts) for pts in q_points_list]
+    stats = [SearchStats() for _ in q_points_list] if track else None
+    match_lists = searcher.search_rows_batch(list(q_points_list), list(taus), q_datas, stats)
+    return match_lists, stats
+
+
+def _join_chunk_body(spec: TaskSpec, res: Any) -> Any:
+    """One division-replica chunk of a join edge, run on the receiver.
+
+    Payload: ``(send_side, send_pid, row_ids, tau)`` — the senders are
+    referenced by row id only; their points and verification artifacts
+    come out of the resolver's own view of the sending partition, so no
+    coordinate bytes ever ride the spec.  Returns ``(match_lists,
+    stats_list)`` aligned with ``row_ids``; matches are receiver-side
+    ``(row, distance)`` pairs.
+    """
+    from ..core.search import SearchStats
+
+    send_side, send_pid, rows, tau = spec.payload
+    searcher = res.join_searcher(spec.side, spec.partition_id)
+    part = res.dataset(send_side, send_pid)
+    row_list = list(rows)
+    datas = [res.sender_data(send_side, send_pid, r) for r in row_list]
+    q_pts = [part.points(r) for r in row_list]
+    stats = [SearchStats() for _ in row_list]
+    match_lists = searcher.search_rows_batch(q_pts, [tau] * len(row_list), datas, stats)
+    return match_lists, stats
+
+
+def _knn_seed_body(spec: TaskSpec, res: Any) -> Any:
+    """Exact seed distances for kNN bound seeding.
+
+    Payload: ``(q_points, row_ids)``.  Returns ``(distance, trajectory
+    id)`` pairs in row order — ids are read off the resolver's own id
+    column, never shipped.
+    """
+    q_pts, rows = spec.payload
+    part = res.dataset(spec.side, spec.partition_id)
+    dist = res.distance(spec.side)
+    return [
+        (dist.compute(part.points(r), q_pts), int(part.traj_ids[r])) for r in rows
+    ]
+
+
+def _debug_echo_body(spec: TaskSpec, res: Any) -> Any:
+    """Scheduler-test body: returns the payload unchanged."""
+    return spec.payload
+
+
+def _debug_spin_body(spec: TaskSpec, res: Any) -> Any:
+    """Scheduler-test body: pure CPU burn of ``payload[0]`` iterations,
+    used to create load imbalance without touching any clock."""
+    (n,) = spec.payload
+    acc = 0
+    for i in range(n):
+        acc += i * i
+    return acc
+
+
+def _debug_crash_body(spec: TaskSpec, res: Any) -> Any:
+    """Failure-path test body: kills the hosting process outright (the
+    moral equivalent of a segfaulting native kernel)."""
+    (code,) = spec.payload
+    os._exit(code)
+
+
+def _debug_unpicklable_body(spec: TaskSpec, res: Any) -> Any:
+    """Failure-path test body: returns a value no pickle can carry."""
+    return lambda: None
+
+
+register_task_kind("search", _search_body)
+register_task_kind("join.chunk", _join_chunk_body)
+register_task_kind("knn.seed", _knn_seed_body)
+register_task_kind("debug.echo", _debug_echo_body)
+register_task_kind("debug.spin", _debug_spin_body)
+register_task_kind("debug.crash", _debug_crash_body)
+register_task_kind("debug.unpicklable", _debug_unpicklable_body)
+
+
+# ---------------------------------------------------------------------- #
+# the zero-copy pickle guard
+# ---------------------------------------------------------------------- #
+
+
+def pickle_budget(spec: TaskSpec) -> int:
+    """The maximum pickled size allowed for ``spec``.
+
+    The budget prices exactly what each kind is *allowed* to carry:
+    query coordinates for search/kNN specs (queries originate at the
+    coordinator), a fixed handful of bytes per referenced row otherwise.
+    Dataset coordinates have no line item, so a spec that smuggles them
+    blows its budget and the pool rejects it before anything is sent.
+    """
+    if spec.kind == "search":
+        q_points_list, taus, _ = spec.payload
+        coord_bytes = sum(int(p.nbytes) for p in q_points_list)
+        return _BASE_BUDGET + coord_bytes + _PER_QUERY_BUDGET * len(q_points_list)
+    if spec.kind == "join.chunk":
+        _, _, rows, _ = spec.payload
+        return _BASE_BUDGET + _PER_ROW_BUDGET * len(rows)
+    if spec.kind == "knn.seed":
+        q_pts, rows = spec.payload
+        return _BASE_BUDGET + int(q_pts.nbytes) + _PER_ROW_BUDGET * len(rows)
+    return _BASE_BUDGET

@@ -73,6 +73,18 @@ class DITAConfig:
     fault_message_drop_rate: float = 0.0
     fault_straggler_rate: float = 0.0
     fault_straggler_slowdown: float = 4.0
+    #: task execution backend.  ``"simulated"`` (the default) runs every
+    #: task body inline on the deterministic cluster simulator — byte-
+    #: identical to all prior releases.  ``"process"`` runs the *same*
+    #: task descriptions on a spawn-based multi-core worker pool
+    #: (:mod:`repro.cluster.parallel`) that attaches to the engine's
+    #: store blocks via shared memory maps; results and stats are
+    #: bit-identical to the simulated backend, and the simulator still
+    #: does all cost accounting (tasks are charged their declared work).
+    backend: str = "simulated"
+    #: process-pool size for ``backend="process"``; 0 sizes the pool to
+    #: the host's CPU count.
+    num_processes: int = 0
     #: enable the MBR coverage filter (Lemma 5.4) during verification.
     use_mbr_coverage: bool = True
     #: enable the cell-based lower bound (Lemma 5.6) during verification.
@@ -113,6 +125,10 @@ class DITAConfig:
                 raise ValueError(f"{name} must be in [0, 1]")
         if self.fault_straggler_slowdown < 1:
             raise ValueError("fault_straggler_slowdown must be >= 1")
+        if self.backend not in ("simulated", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.num_processes < 0:
+            raise ValueError("num_processes must be >= 0")
 
     @property
     def cost_lambda(self) -> float:

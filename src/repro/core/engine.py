@@ -31,14 +31,22 @@ prunes are never read at all)::
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from contextlib import nullcontext
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..cluster.clock import Stopwatch, wall_clock
+from ..cluster.parallel import ExecutorError, ParallelExecutor, SideInit, WorkerInit
 from ..cluster.simulator import Cluster
+from ..cluster.tasks import TaskSpec, run_task_body
 from ..obs import MetricsRegistry
 from ..geometry.mbr import MBR
 from ..storage.columnar import ColumnarDataset
+from ..storage.store import snapshot_partitions
 from ..trajectory.trajectory import Trajectory
 from .adapters import IndexAdapter, get_adapter
 from .config import DITAConfig
@@ -55,6 +63,90 @@ def _resolve_adapter(distance: "str | IndexAdapter", config: DITAConfig) -> Inde
             return get_adapter(distance, use_suffix_pruning=config.use_suffix_pruning)
         return get_adapter(distance)
     return distance
+
+
+@dataclass
+class _EngineTask:
+    """One schedulable unit: the backend-neutral :class:`TaskSpec` plus
+    the simulator routing and accounting the engine has always used.
+
+    ``cluster_pid`` routes through ``Cluster.run_local`` (partition-homed
+    tasks); ``exec_worker`` routes through ``Cluster.run_on_worker``
+    (join division replicas, which target an explicit worker)."""
+
+    spec: TaskSpec
+    work: float
+    tag: str
+    cluster_pid: Optional[int] = None
+    exec_worker: Optional[int] = None
+
+
+class _LocalResolver:
+    """The simulated backend's resolver: task-body references resolve
+    against the coordinator's own partitions, tries and caches (see
+    :mod:`repro.cluster.tasks` for the protocol;
+    :class:`repro.cluster.parallel.WorkerState` is the process twin).
+
+    Query and sender verification artifacts can be *seeded* so the body
+    reuses the exact objects the engine built on the driver — the inline
+    path stays allocation-for-allocation identical to the pre-seam code.
+    """
+
+    def __init__(self, left: "DITAEngine", right: Optional["DITAEngine"] = None) -> None:
+        self._engines: Dict[str, "DITAEngine"] = {"L": left, "R": right if right is not None else left}
+        self._qdata: Dict[int, VerificationData] = {}
+        self._sender: Dict[Tuple[str, int, int], VerificationData] = {}
+        self._join_searchers: Dict[Tuple[str, int], LocalSearcher] = {}
+        self._distances: Dict[str, Any] = {}
+
+    def engine(self, side: str) -> "DITAEngine":
+        return self._engines[side]
+
+    def searcher(self, side: str, pid: int) -> Optional[LocalSearcher]:
+        return self._engines[side]._searcher(pid)
+
+    def join_searcher(self, side: str, pid: int) -> LocalSearcher:
+        # mirrors JoinExecutor: the left engine's adapter drives the join,
+        # the receiving side supplies trie and verifier
+        key = (side, pid)
+        s = self._join_searchers.get(key)
+        if s is None:
+            eng = self._engines[side]
+            s = LocalSearcher(eng.trie(pid), self._engines["L"].adapter, eng.verifier)
+            self._join_searchers[key] = s
+        return s
+
+    def dataset(self, side: str, pid: int) -> ColumnarDataset:
+        return self._engines[side].partition(pid)
+
+    def distance(self, side: str):
+        if side not in self._distances:
+            self._distances[side] = self._engines[side].adapter.distance()
+        return self._distances[side]
+
+    def seed_query_data(self, points, q_data: VerificationData) -> None:
+        self._qdata[id(points)] = q_data
+
+    def query_data(self, points) -> VerificationData:
+        q = self._qdata.get(id(points))
+        if q is None:
+            q = VerificationData.from_points(points, self._engines["L"].config.cell_size)
+            self._qdata[id(points)] = q
+        return q
+
+    def seed_sender_data(self, side: str, pid: int, row: int, data: VerificationData) -> None:
+        self._sender[(side, pid, int(row))] = data
+
+    def sender_data(self, side: str, pid: int, row: int) -> VerificationData:
+        key = (side, pid, int(row))
+        d = self._sender.get(key)
+        if d is None:
+            d = VerificationData.from_points(
+                self._engines[side].partition(pid).points(int(row)),
+                self._engines["L"].config.cell_size,
+            )
+            self._sender[key] = d
+        return d
 
 
 class DITAEngine:
@@ -174,6 +266,13 @@ class DITAEngine:
             for pid, trie in self.tries.items()
         }
         self._register_rebuilds(cluster)
+        # process-backend state: mutation generation, worker pool and the
+        # spilled snapshot a non-store (or mutated) engine hands workers
+        self._mutations = 0
+        self._pool: Optional[ParallelExecutor] = None
+        self._pool_init: Optional[WorkerInit] = None
+        self._spill_dir: Optional[str] = None
+        self._spill_mutations = -1
         #: the observability layer (None until tracing is enabled)
         self.metrics: Optional[MetricsRegistry] = None
         if self.config.use_tracing:
@@ -391,6 +490,179 @@ class DITAEngine:
             for pid in self.tries
         }
         self._register_rebuilds(self.cluster)
+        # worker processes mirror a snapshot that no longer matches; the
+        # next process-backend call respawns against a fresh one
+        self._mutations += 1
+        self._close_pool()
+
+    # ------------------------------------------------------------------ #
+    # execution backends (the Executor seam)
+    # ------------------------------------------------------------------ #
+
+    def _run_tasks(
+        self,
+        tasks: List[_EngineTask],
+        resolver: _LocalResolver,
+        on_result: Callable[[_EngineTask, Any], None],
+    ) -> None:
+        """Run a task batch through the configured backend.
+
+        The simulated cluster sees the identical schedule either way:
+        every task passes through ``run_local``/``run_on_worker`` in
+        submission order with its declared work, so traces, fault
+        injection and the execution report are byte-identical across
+        backends.  Under ``backend="process"`` the bodies have already
+        run on the pool and the closure handed to the simulator just
+        returns the pooled outcome (the default unit-cost measure prices
+        declared work, not body runtime, so the accounting matches).
+        ``on_result`` fires immediately after each task's simulator call
+        — span-adjacent, so stage subdivision keeps working."""
+        outcomes = self._process_outcomes(tasks, resolver)
+        for t in tasks:
+            if outcomes is None:
+                body = lambda s=t.spec, r=resolver: run_task_body(s, r)  # noqa: E731
+            else:
+                body = lambda v=outcomes[t.spec.task_id]: v  # noqa: E731
+            if t.exec_worker is None:
+                result = self.cluster.run_local(t.cluster_pid, body, work=t.work, tag=t.tag)
+            else:
+                result = self.cluster.run_on_worker(t.exec_worker, body, work=t.work, tag=t.tag)
+            on_result(t, result)
+
+    def _process_outcomes(
+        self, tasks: List[_EngineTask], resolver: _LocalResolver
+    ) -> Optional[Dict[int, Any]]:
+        """Under ``backend="process"``, execute every task body on the
+        worker pool up front and return ``{task_id: value}``; None under
+        the simulated backend (bodies then run inline).
+
+        A pool failure surfaces as :class:`ExecutorError` and is recorded
+        in the cluster's fault accounting (``FaultReport.executor_failures``);
+        the broken pool is dropped so a later call starts a fresh one."""
+        if self.config.backend != "process" or not tasks:
+            return None
+        pool = self._ensure_pool(resolver)
+        affinity = []
+        for t in tasks:
+            w = t.exec_worker if t.exec_worker is not None else self.cluster.worker_of(t.cluster_pid)
+            affinity.append(w % pool.num_workers)
+        try:
+            results = pool.run([t.spec for t in tasks], affinity=affinity)
+        except ExecutorError:
+            self.cluster.note_executor_failure()
+            self._pool = None
+            self._pool_init = None
+            raise
+        self._merge_pool_obs(tasks, results)
+        return {tid: r.value for tid, r in results.items()}
+
+    def _ensure_pool(self, resolver: _LocalResolver) -> ParallelExecutor:
+        """The live worker pool for the resolver's engine pair, spawning
+        (or respawning, when either side's snapshot moved) on demand.
+        Both sides always ride the bootstrap, so searches, self-joins and
+        joins against the same counterpart share one pool."""
+        right = resolver.engine("R")
+        init = WorkerInit(sides=(("L", self._side_init()), ("R", right._side_init())))
+        if self._pool is not None and init == self._pool_init:
+            return self._pool
+        self._close_pool()
+        n = self.config.num_processes or os.cpu_count() or 1
+        self._pool = ParallelExecutor(init, n)
+        self._pool_init = init
+        return self._pool
+
+    def _side_init(self) -> SideInit:
+        path, dead = self._ensure_snapshot()
+        return SideInit(store_path=path, config=self.config, adapter=self.adapter, dead_rows=dead)
+
+    def _ensure_snapshot(self) -> Tuple[str, tuple]:
+        """``(store path, tombstones)`` giving worker processes a
+        mappable, row-aligned view of this engine's partitions.
+
+        A store-backed engine that was never mutated hands out its own
+        store directory (zero extra bytes on disk).  Otherwise the live
+        partitions are spilled once per mutation generation — verbatim,
+        pids and row numbering preserved (:func:`snapshot_partitions`) —
+        and tombstoned rows ride along as indices for workers to replay.
+        """
+        if self._store is not None and self._mutations == 0:
+            return str(self._store.path), ()
+        if self._spill_dir is None or self._spill_mutations != self._mutations:
+            self._drop_spill()
+            for pid in self.partition_pids():
+                self._ensure_loaded(pid)
+            spill = tempfile.mkdtemp(prefix="repro-spill-")
+            ndim = next(iter(self.partitions.values())).ndim
+            snapshot_partitions(
+                self.partitions, Path(spill) / "store", ndim, self.config.num_global_partitions
+            )
+            self._spill_dir = spill
+            self._spill_mutations = self._mutations
+        dead = []
+        for pid in sorted(self.partitions):
+            part = self.partitions[pid]
+            if len(part) != part.n_rows:
+                alive = set(part.alive_rows().tolist())
+                dead.append((pid, tuple(r for r in range(part.n_rows) if r not in alive)))
+        return str(Path(self._spill_dir) / "store"), tuple(dead)
+
+    def _merge_pool_obs(self, tasks: List[_EngineTask], results: Dict[int, Any]) -> None:
+        """Fold the pool's per-task observability into the coordinator's.
+
+        Worker counter deltas (tries built, blocks mapped) merge in task
+        order — deterministic given a task-to-worker assignment, though
+        the totals legitimately depend on scheduling (two workers may
+        each build the same trie).  Each task's worker-side execution
+        becomes a ``cat="pool"`` span, re-based so the batch starts at 0
+        and ordered by (pool worker, start): wall-clock diagnostics,
+        excluded from the simulated accounting identities."""
+        if self.metrics is not None:
+            self.metrics.counter("pool.tasks", len(tasks))
+            for t in tasks:
+                r = results[t.spec.task_id]
+                for name in sorted(r.counters):
+                    self.metrics.counter(name, r.counters[name])
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            base = min(r.t0 for r in results.values())
+            spec_by_id = {t.spec.task_id: t.spec for t in tasks}
+            ordered = sorted(results.items(), key=lambda kv: (kv[1].worker_id, kv[1].t0, kv[0]))
+            for tid, r in ordered:
+                spec = spec_by_id[tid]
+                tracer.record(
+                    spec.kind,
+                    "pool",
+                    r.worker_id,
+                    r.t0 - base,
+                    r.t1 - base,
+                    args={"task_id": tid, "partition": spec.partition_id},
+                )
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_init = None
+
+    def _drop_spill(self) -> None:
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+            self._spill_mutations = -1
+
+    def shutdown(self) -> None:
+        """Release process-backend resources: the worker pool and any
+        spilled snapshot.  Idempotent, and the engine stays usable — a
+        later process-backend call re-creates both."""
+        self._close_pool()
+        self._drop_spill()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            if getattr(self, "_pool", None) is not None or getattr(self, "_spill_dir", None) is not None:
+                self.shutdown()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # search (Section 5)
@@ -417,28 +689,43 @@ class DITAEngine:
             if job_stats is not None:
                 job_stats.relevant_partitions += len(relevant)
             q_data = VerificationData.of(query, self.config.cell_size)
-            matches: List[Match] = []
+            resolver = _LocalResolver(self)
+            resolver.seed_query_data(query.points, q_data)
+            tasks: List[_EngineTask] = []
             for pid in relevant:
-                searcher = self._searcher(pid)
-                if searcher is None:
+                if pid not in self.partitions and pid not in self._unloaded:
                     continue
-                # a fresh stats object per task: partitions must not share
-                # one accumulator (the batch filter *assigns* its candidate
-                # count), and the tracer needs per-task stage weights
-                task_stats = SearchStats() if track else None
-                local = self.cluster.run_local(
-                    pid,
-                    lambda s=searcher, ts=task_stats: s.search(
-                        query, tau, query_data=q_data, stats=ts
-                    ),
-                    work=self.global_index.meta(pid).size,
-                    tag="search.partition",
+                tasks.append(
+                    _EngineTask(
+                        spec=TaskSpec(
+                            task_id=len(tasks),
+                            kind="search",
+                            side="L",
+                            partition_id=pid,
+                            payload=((query.points,), (tau,), track),
+                        ),
+                        work=self.global_index.meta(pid).size,
+                        tag="search.partition",
+                        cluster_pid=pid,
+                    )
                 )
-                if task_stats is not None:
+            matches: List[Match] = []
+
+            def on_result(task: _EngineTask, result: Any) -> None:
+                # the body ran with a fresh stats object per task:
+                # partitions must not share one accumulator (the batch
+                # filter *assigns* its candidate count), and the tracer
+                # needs per-task stage weights
+                match_lists, stats_list = result
+                if stats_list is not None:
+                    ts = stats_list[0]
                     if tracer is not None:
-                        self._subdivide_task(tracer, task_stats)
-                    job_stats.merge(task_stats)
-                matches.extend(local)
+                        self._subdivide_task(tracer, ts)
+                    job_stats.merge(ts)
+                part = self.partition(task.spec.partition_id)
+                matches.extend((part.view(row), d) for row, d in match_lists[0])
+
+            self._run_tasks(tasks, resolver, on_result)
         if job_stats is not None:
             if stats is not None:
                 stats.merge(job_stats)
@@ -501,33 +788,52 @@ class DITAEngine:
                 for pid in relevant:
                     by_pid.setdefault(pid, []).append(i)
             results: List[List[Tuple[int, int, float]]] = [[] for _ in queries]
+            resolver = _LocalResolver(self)
+            for i, query in enumerate(queries):
+                resolver.seed_query_data(query.points, q_datas[i])
+            tasks: List[_EngineTask] = []
+            idx_of: Dict[int, List[int]] = {}
             for pid in sorted(by_pid):
-                idxs = by_pid[pid]
-                searcher = self._searcher(pid)
-                if searcher is None:
+                if pid not in self.partitions and pid not in self._unloaded:
                     continue
-                task_stats = [SearchStats() for _ in idxs] if track else None
-                local = self.cluster.run_local(
-                    pid,
-                    lambda s=searcher, ix=idxs, ts=task_stats: s.search_rows_batch(
-                        [queries[i].points for i in ix],
-                        [taus[i] for i in ix],
-                        [q_datas[i] for i in ix],
-                        ts,
-                    ),
-                    work=self.global_index.meta(pid).size * len(idxs),
-                    tag="search.partition",
+                idxs = by_pid[pid]
+                tid = len(tasks)
+                idx_of[tid] = idxs
+                tasks.append(
+                    _EngineTask(
+                        spec=TaskSpec(
+                            task_id=tid,
+                            kind="search",
+                            side="L",
+                            partition_id=pid,
+                            payload=(
+                                tuple(queries[i].points for i in idxs),
+                                tuple(taus[i] for i in idxs),
+                                track,
+                            ),
+                        ),
+                        work=self.global_index.meta(pid).size * len(idxs),
+                        tag="search.partition",
+                        cluster_pid=pid,
+                    )
                 )
-                if task_stats is not None:
+
+            def on_result(task: _EngineTask, result: Any) -> None:
+                match_lists, stats_list = result
+                idxs = idx_of[task.spec.task_id]
+                if stats_list is not None:
                     if tracer is not None:
                         merged = SearchStats()
-                        for ts in task_stats:
+                        for ts in stats_list:
                             merged.merge(ts)
                         self._subdivide_task(tracer, merged)
-                    for i, ts in zip(idxs, task_stats):
+                    for i, ts in zip(idxs, stats_list):
                         internal[i].merge(ts)
-                for i, matches in zip(idxs, local):
+                pid = task.spec.partition_id
+                for i, matches in zip(idxs, match_lists):
                     results[i].extend((pid, row, d) for row, d in matches)
+
+            self._run_tasks(tasks, resolver, on_result)
         if internal is not None:
             if stats is not None:
                 for i, s in enumerate(stats):

@@ -27,7 +27,7 @@ from .adapters import IndexAdapter
 from .config import DITAConfig
 from .costmodel import BiEdge, Node, OrientationPlan, plan_join
 from .numerics import slack
-from .search import LocalSearcher, SearchStats
+from .search import SearchStats
 from .verify import VerificationData
 
 #: join output: (left trajectory id, right trajectory id, distance)
@@ -213,6 +213,9 @@ class JoinExecutor:
         division balancing, a replicated partition's incoming tasks rotate
         across its replica workers.
         """
+        from ..cluster.tasks import TaskSpec, run_task_body
+        from .engine import _EngineTask, _LocalResolver
+
         tracer = self.cluster.tracer
         # accumulate unconditionally: the executor's counts must not depend
         # on whether the caller passed a stats object
@@ -221,8 +224,13 @@ class JoinExecutor:
         js.plan = plan
         js.partition_pairs = len(plan.edges)
         results: List[JoinPair] = []
-        replica_rr: Dict[Node, int] = {}
         sender_data: Dict[tuple, VerificationData] = {}
+        resolver = _LocalResolver(self.left, self.right)
+        # pass 1 — drive-side planning only (no cluster charges): per edge,
+        # select the shipped rows, build their verification artifacts, and
+        # describe each division chunk as a backend-neutral task
+        edge_batches: List[dict] = []
+        n_tasks = 0
         for edge in plan.edges:
             if edge.direction == "tq":
                 senders = self.left.partition(edge.t_part)
@@ -230,6 +238,7 @@ class JoinExecutor:
                 recv_node: Node = ("Q", edge.q_part)
                 recv_engine = self.right
                 recv_meta = self.right.global_index.meta(edge.q_part)
+                send_side, recv_side = "L", "R"
                 flip = False
             else:
                 senders = self.right.partition(edge.q_part)
@@ -237,6 +246,7 @@ class JoinExecutor:
                 recv_node = ("T", edge.t_part)
                 recv_engine = self.left
                 recv_meta = self.left.global_index.meta(edge.t_part)
+                send_side, recv_side = "R", "L"
                 flip = True
             shipped = _relevant_rows(
                 senders, senders.alive_rows(), recv_meta, tau, self.adapter
@@ -251,62 +261,96 @@ class JoinExecutor:
             for r in shipped.tolist():
                 data_key = (side_pid, r)
                 if data_key not in sender_data:
-                    sender_data[data_key] = VerificationData.from_points(
+                    data = VerificationData.from_points(
                         senders.points(r), self.config.cell_size
                     )
+                    sender_data[data_key] = data
+                    resolver.seed_sender_data(send_side, send_node[1], r, data)
             nbytes = int(senders.lengths[shipped].sum()) * senders.ndim * 8
             src_pid = self._cluster_pid(send_node)
             dst_pid = self._cluster_pid(recv_node)
             # division (Section 6.3): a replicated partition's workload is
             # split into n_replicas pieces executed on distinct workers
             n_replicas = max(1, plan.replica_count(recv_node))
-            self.cluster.ship(src_pid, dst_pid, nbytes)
-            js.trajectories_shipped += int(shipped.shape[0])
-            js.bytes_shipped += nbytes
-            searcher = LocalSearcher(
-                recv_engine.trie(recv_meta.partition_id),
-                self.adapter,
-                recv_engine.verifier,
-            )
-            home_worker = self.cluster.worker_of(dst_pid)
+            # affinity hint only — the authoritative exec worker is read in
+            # pass 2 (after the edge's ship, whose fault recovery may have
+            # re-placed partitions, exactly as the sequential executor saw)
+            hint_worker = self.cluster.worker_of(dst_pid)
             chunks = [shipped[i::n_replicas] for i in range(n_replicas)]
+            tasks: List[_EngineTask] = []
+            slots: List[int] = []
             for slot, chunk in enumerate(chunks):
                 if chunk.shape[0] == 0:
                     continue
-                exec_worker = (home_worker + slot) % self.cluster.n_workers
-                chunk_stats: List[Optional[SearchStats]] = [
-                    SearchStats() for _ in range(int(chunk.shape[0]))
-                ]
-
-                def run_chunk(
-                    rows=chunk,
-                    part=senders,
-                    searcher=searcher,
-                    flip=flip,
-                    side_pid=side_pid,
-                    cstats=chunk_stats,
-                ):
-                    # the whole chunk rides one frontier sweep over the
-                    # receiver's columnar trie, then verifies per query —
-                    # rows in, rows out, ids read off the id columns
-                    row_list = rows.tolist()
-                    datas = [sender_data[(side_pid, r)] for r in row_list]
-                    q_pts = [part.points(r) for r in row_list]
-                    taus = [tau] * len(row_list)
-                    match_lists = searcher.search_rows_batch(q_pts, taus, datas, cstats)
-                    recv_ids = searcher.trie.dataset.traj_ids
-                    for r, matches in zip(row_list, match_lists):
-                        sid = int(part.traj_ids[r])
-                        for recv_row, dist in matches:
-                            rid = int(recv_ids[recv_row])
-                            if flip:
-                                results.append((rid, sid, dist))
-                            else:
-                                results.append((sid, rid, dist))
-
-                self.cluster.run_on_worker(
-                    exec_worker, run_chunk, work=int(chunk.shape[0]), tag="join.chunk"
+                tasks.append(
+                    _EngineTask(
+                        spec=TaskSpec(
+                            task_id=n_tasks,
+                            kind="join.chunk",
+                            side=recv_side,
+                            partition_id=recv_meta.partition_id,
+                            payload=(
+                                send_side,
+                                send_node[1],
+                                tuple(int(r) for r in chunk.tolist()),
+                                tau,
+                            ),
+                        ),
+                        work=int(chunk.shape[0]),
+                        tag="join.chunk",
+                        exec_worker=(hint_worker + slot) % self.cluster.n_workers,
+                    )
                 )
+                slots.append(slot)
+                n_tasks += 1
+            edge_batches.append(
+                {
+                    "src_pid": src_pid,
+                    "dst_pid": dst_pid,
+                    "nbytes": nbytes,
+                    "n_shipped": int(shipped.shape[0]),
+                    "senders": senders,
+                    "recv_engine": recv_engine,
+                    "recv_pid": recv_meta.partition_id,
+                    "flip": flip,
+                    "tasks": tasks,
+                    "slots": slots,
+                }
+            )
+        # process backend: every chunk body runs on the pool in one batch,
+        # so replicas really execute in parallel across edges
+        all_tasks = [t for eb in edge_batches for t in eb["tasks"]]
+        outcomes = self.left._process_outcomes(all_tasks, resolver)
+        # pass 2 — replay the exact sequential schedule: per edge one ship,
+        # then its chunk tasks through the simulator in submission order
+        for eb in edge_batches:
+            self.cluster.ship(eb["src_pid"], eb["dst_pid"], eb["nbytes"])
+            js.trajectories_shipped += eb["n_shipped"]
+            js.bytes_shipped += eb["nbytes"]
+            senders = eb["senders"]
+            recv_ids = eb["recv_engine"].partition(eb["recv_pid"]).traj_ids
+            flip = eb["flip"]
+            home_worker = self.cluster.worker_of(eb["dst_pid"])
+            for t, slot in zip(eb["tasks"], eb["slots"]):
+                exec_worker = (home_worker + slot) % self.cluster.n_workers
+                if outcomes is None:
+                    body = lambda s=t.spec, r=resolver: run_task_body(s, r)  # noqa: E731
+                else:
+                    body = lambda v=outcomes[t.spec.task_id]: v  # noqa: E731
+                match_lists, chunk_stats = self.cluster.run_on_worker(
+                    exec_worker, body, work=t.work, tag=t.tag
+                )
+                # rows in, rows out: map the receiver-side match rows and
+                # the shipped sender rows to ids off the id columns
+                rows = t.spec.payload[2]
+                for r, matches in zip(rows, match_lists):
+                    sid = int(senders.traj_ids[r])
+                    for recv_row, dist in matches:
+                        rid = int(recv_ids[recv_row])
+                        if flip:
+                            results.append((rid, sid, dist))
+                        else:
+                            results.append((sid, rid, dist))
                 merged = SearchStats()
                 for s in chunk_stats:
                     merged.merge(s)

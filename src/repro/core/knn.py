@@ -123,27 +123,36 @@ def _seed_tau(engine: "DITAEngine", query: Trajectory, k: int) -> Tuple[float, f
     gaps = np.sqrt(np.sum((firsts - np.asarray(query.first)[None, :]) ** 2, axis=1))
     order = np.argsort(gaps, kind="stable")[:budget]
     chosen = [pool[int(i)] for i in order]
-    # the exact-distance seeding runs on the partitions that own the seeds:
-    # one simulated (fault-tolerant) task per involved partition, with the
-    # distance computation inside the task body so *any* measure hook —
-    # unit-cost or wall-clock — prices the real work
+    # the exact-distance seeding runs on the partitions that own the
+    # seeds: one "knn.seed" task per involved partition, referencing the
+    # seed trajectories by row id — the executing side (inline searcher
+    # or pool worker) reads points and ids out of its own block view
+    from ..cluster.tasks import TaskSpec
+    from .engine import _EngineTask, _LocalResolver
+
     per_pid: dict = {}
     for pid, part, row in chosen:
-        per_pid.setdefault(pid, []).append((part, row))
-    dist = engine.adapter.distance()
+        per_pid.setdefault(pid, []).append(row)
     seed_dists: List[Tuple[float, int]] = []
+    resolver = _LocalResolver(engine)
+    tasks: List = []
     for pid in sorted(per_pid):
-        members = per_pid[pid]
-
-        def body(ms=tuple(members)):
-            return [
-                (dist.compute(part.points(row), query.points), int(part.traj_ids[row]))
-                for part, row in ms
-            ]
-
-        seed_dists.extend(
-            engine.cluster.run_local(pid, body, work=len(members), tag="knn.seed")
+        rows = per_pid[pid]
+        tasks.append(
+            _EngineTask(
+                spec=TaskSpec(
+                    task_id=len(tasks),
+                    kind="knn.seed",
+                    side="L",
+                    partition_id=pid,
+                    payload=(query.points, tuple(int(r) for r in rows)),
+                ),
+                work=len(rows),
+                tag="knn.seed",
+                cluster_pid=pid,
+            )
         )
+    engine._run_tasks(tasks, resolver, lambda t, r: seed_dists.extend(r))
     if len(seed_dists) < k:
         return math.inf, 0.0
     seed_dists.sort()

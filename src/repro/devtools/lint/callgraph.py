@@ -18,8 +18,9 @@ a whole-program view built from *every* parsed file in one lint run:
   definitions) plus the list of *external* dotted calls each function
   makes (``time.time``, ``numpy.random.rand`` — the sinks DIT007 hunts);
 * **submission sites**: every ``run_local`` / ``run_on_worker`` /
-  ``register_rebuild`` call together with the project callables passed to
-  it — the simulated task bodies.
+  ``register_rebuild`` / ``register_task_kind`` call together with the
+  project callables passed to it — the simulated task bodies and the
+  process backend's worker entry points.
 
 Everything is plain ``ast``; resolution is best-effort and *sound for the
 rules built on it* in the sense that an unresolvable call contributes no
@@ -36,8 +37,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .context import FileContext
 
-#: attribute names whose callable arguments are simulated task bodies
-SUBMIT_ATTRS = ("register_rebuild", "run_local", "run_on_worker")
+#: call names whose callable arguments are task bodies: the simulator's
+#: submission methods, plus ``register_task_kind`` — the process backend's
+#: worker entry points obey the same purity rules as inline task closures
+SUBMIT_ATTRS = ("register_rebuild", "register_task_kind", "run_local", "run_on_worker")
 
 
 def module_name_for(path: str) -> str:
@@ -144,6 +147,11 @@ class Project:
         self.modules: Dict[str, FileContext] = {}
         self.functions: Dict[str, FunctionInfo] = {}
         self.classes: Dict[str, ClassInfo] = {}
+        #: submissions made at module scope (``register_task_kind(...)`` at
+        #: import time, the process backend's registration idiom) — keyed by
+        #: a synthetic ``<module>`` FunctionInfo so findings can still point
+        #: at a file/line
+        self.module_submissions: List[Tuple[FunctionInfo, int, int, str, str]] = []
         #: per-module import table with relative imports resolved
         self._imports: Dict[str, Dict[str, str]] = {}
         self._mro_cache: Dict[str, List[str]] = {}
@@ -481,6 +489,48 @@ class Project:
             if info.module != module or isinstance(info.node, ast.Lambda):
                 continue
             self._analyze_function(info, module, table)
+        self._collect_module_submissions(ctx, module, table)
+
+    def _collect_module_submissions(
+        self, ctx: FileContext, module: str, table: Dict[str, str]
+    ) -> None:
+        """Submission calls at module scope (``register_task_kind("k", fn)``
+        at import time).  Function bodies are covered by the per-function
+        pass; this walk skips them and only looks at top-level statements."""
+        minfo: Optional[FunctionInfo] = None
+        top_level = [
+            stmt
+            for stmt in ctx.tree.body  # type: ignore[attr-defined]
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        for node in self._walk_body(top_level):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr_name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if attr_name not in SUBMIT_ATTRS:
+                continue
+            if minfo is None:
+                minfo = FunctionInfo(
+                    qualname=f"{module}.<module>",
+                    module=module,
+                    path=ctx.path,
+                    line=1,
+                    node=ctx.tree,  # type: ignore[attr-defined]
+                )
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                if not isinstance(arg, (ast.Name, ast.Attribute)):
+                    continue
+                target = self._resolve_callable_ref(arg, minfo, module, table, {})
+                if target is None:
+                    continue
+                self.module_submissions.append(
+                    (minfo, node.lineno, node.col_offset + 1, attr_name, target)
+                )
 
     def _analyze_function(
         self, info: FunctionInfo, module: str, table: Dict[str, str]
@@ -702,6 +752,9 @@ class Project:
         for f in self.sorted_functions():
             for line, col, attr, body in f.submissions:
                 out.append((f, line, col, attr, body))
+        out.extend(
+            sorted(self.module_submissions, key=lambda s: (s[0].qualname, s[1], s[2]))
+        )
         return out
 
 

@@ -97,8 +97,10 @@ class TaskBodyPurityRule(ProjectRule):
         "(PR 1). DIT001 flags a wall-clock read in the file it occurs in, "
         "but a task body that reaches time.perf_counter() through two "
         "helper calls passes it clean. DIT007 closes that hole: it walks "
-        "the project call graph from every simulated task body (callables "
-        "passed to run_local/run_on_worker/register_rebuild) and from every "
+        "the project call graph from every task body — callables passed to "
+        "run_local/run_on_worker/register_rebuild, and process-pool worker "
+        "entry points registered via register_task_kind, which execute on "
+        "real workers but must stay bit-reproducible — and from every "
         "function that charges simulated time (charge_compute/"
         "charge_network call sites), and reports any path to a wall-clock "
         "or OS-entropy call, naming the chain. repro.cluster.clock is the "

@@ -353,6 +353,25 @@ class ColumnarDataset:
         self.version += 1
         return row
 
+    def mark_rows_removed(self, rows: "Sequence[int]") -> None:
+        """Tombstone rows *by index* — the store-attach path: a worker
+        process replaying the coordinator's removals onto its own mapped
+        block, where the removed ids are already gone from the catalog's
+        point of view but the row numbering must stay aligned."""
+        if not len(rows):
+            return
+        if self._dead is None:
+            self._dead = np.zeros(self.n_rows, dtype=bool)
+        for row in rows:
+            row = int(row)
+            if self._dead[row]:
+                continue
+            self._dead[row] = True
+            self._n_dead += 1
+            if self._row_by_id is not None:
+                self._row_by_id.pop(int(self.traj_ids[row]), None)
+        self.version += 1
+
     def compact(self) -> "ColumnarDataset":
         """A defragmented copy without tombstoned rows."""
         return self.subset(self.alive_rows())

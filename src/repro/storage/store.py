@@ -209,6 +209,58 @@ def build_store(
     return TrajectoryStore.open(path)
 
 
+def snapshot_partitions(
+    parts: Dict[int, ColumnarDataset],
+    path: PathLike,
+    ndim: int,
+    n_groups: int,
+) -> "TrajectoryStore":
+    """Persist an engine's live partitions *verbatim* under ``path``.
+
+    Unlike :func:`build_store`, nothing is repartitioned, reordered or
+    compacted: each dataset is written row-for-row (tombstoned rows
+    included) under its given partition id, so row indices in the
+    written blocks are exactly the coordinator's row indices.  This is
+    the spill path the process backend uses to hand worker processes a
+    mappable view of an engine that was built from objects (or mutated
+    since its store was written) — result rows resolved by a worker must
+    mean the same thing to the coordinator.
+    """
+    path = Path(path)
+    if (path / CATALOG_NAME).exists():
+        raise StorageError(f"store already exists at {path}")
+    path.mkdir(parents=True, exist_ok=True)
+    metas: List[dict] = []
+    for pid in sorted(parts):
+        part = parts[pid]
+        directory = f"part-{pid:05d}"
+        checksums = _write_block(path / directory, part)
+        meta = PartitionMeta(
+            partition_id=pid,
+            directory=directory,
+            n_trajectories=part.n_rows,
+            n_points=part.n_points,
+            nbytes=part.nbytes(),
+            min_len=int(part.lengths.min()),
+            mbr_first=MBR(part.firsts.min(axis=0), part.firsts.max(axis=0)),
+            mbr_last=MBR(part.lasts.min(axis=0), part.lasts.max(axis=0)),
+            mbr=MBR(part.mbr_lows.min(axis=0), part.mbr_highs.max(axis=0)),
+            checksums=checksums,
+        )
+        metas.append(meta.to_json())
+    catalog = {
+        "format_version": STORAGE_FORMAT_VERSION,
+        "ndim": ndim,
+        "n_groups": n_groups,
+        "n_trajectories": sum(p.n_rows for p in parts.values()),
+        "n_points": sum(p.n_points for p in parts.values()),
+        "dtypes": dict(BLOCK_ARRAYS),
+        "partitions": metas,
+    }
+    (path / CATALOG_NAME).write_text(json.dumps(catalog, indent=1, sort_keys=True))
+    return TrajectoryStore.open(path)
+
+
 class TrajectoryStore:
     """A read view over a persisted store directory.
 

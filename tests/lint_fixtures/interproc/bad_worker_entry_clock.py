@@ -1,0 +1,30 @@
+"""DIT007 positive for process-pool worker entry points: the body is
+never passed to ``run_local``/``run_on_worker`` — it is registered via
+``register_task_kind()`` at module scope, the way the parallel backend
+wires its workers — and it reaches ``time.perf_counter()`` only through
+two helper levels.  Worker entry points execute on real processes but
+must stay bit-reproducible, so they obey the same purity rules as
+inline task closures."""
+
+import time
+
+_TASK_KINDS = {}
+
+
+def register_task_kind(kind, fn):
+    _TASK_KINDS[kind] = fn
+
+
+def _budget_two():
+    return time.perf_counter()
+
+
+def _budget_one():
+    return _budget_two()
+
+
+def _echo_body(spec, resolver):
+    return ("echo", spec.payload, _budget_one())
+
+
+register_task_kind("demo.echo", _echo_body)

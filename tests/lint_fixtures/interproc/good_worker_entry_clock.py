@@ -1,0 +1,20 @@
+"""DIT007 negative for process-pool worker entry points: the registered
+body computes from its payload and resolver only — no host clock, no OS
+entropy — so it is safe to run on a real worker process."""
+
+_TASK_KINDS = {}
+
+
+def register_task_kind(kind, fn):
+    _TASK_KINDS[kind] = fn
+
+
+def _cost_model(n):
+    return 0.001 * n
+
+
+def _echo_body(spec, resolver):
+    return ("echo", spec.payload, _cost_model(len(spec.payload)))
+
+
+register_task_kind("demo.echo", _echo_body)

@@ -247,6 +247,21 @@ class TestInterprocFixtures:
         kept, _ = lint_fixture("interproc/good_task_body_clock.py")
         assert kept == []
 
+    def test_dit007_worker_entry_point(self):
+        """A clock reach inside a body registered via register_task_kind()
+        at module scope — the process backend's worker wiring idiom — is
+        caught like any inline task closure."""
+        kept, _ = lint_fixture("interproc/bad_worker_entry_clock.py")
+        hits = [f for f in kept if f.rule_id == "DIT007"]
+        assert len(hits) == 1
+        assert "passed to register_task_kind()" in hits[0].message
+        assert "time.perf_counter" in hits[0].message
+        assert "->" in hits[0].message
+
+    def test_dit007_worker_entry_point_clean(self):
+        kept, _ = lint_fixture("interproc/good_worker_entry_clock.py")
+        assert kept == []
+
     def test_dit007_suppressed_with_reason(self):
         kept, suppressed = lint_fixture("interproc/suppressed_task_body_clock.py")
         assert kept == []
