@@ -1,0 +1,309 @@
+"""Streaming-ingestion benchmarks: delta-read overhead and adaptive
+repartitioning vs static placement.
+
+Two experiments:
+
+* **delta-read overhead** (wall clock): a base engine absorbs a stream
+  of appends through the :class:`DeltaPartition` write path with queries
+  interleaved (each read forces the pending deltas to fold in), then the
+  steady-state ``search_batch_rows`` latency of the streamed engine is
+  compared against a bulk engine freshly built over the identical final
+  logical dataset.  The streamed engine's partitions grew by
+  least-enlargement routing instead of a global STR rebuild, so this
+  ratio is the price of never rebuilding: the gate holds it to
+  <= 1.3x at the 10k-trajectory scale.
+* **adaptive repartitioning** (simulated, deterministic): two engines
+  ingest the same skewed hot-corner append stream with hot-corner
+  queries interleaved, on the simulated cluster's unit-cost measure.
+  One engine never repartitions; the other calls
+  ``maybe_repartition()`` after every append and pays the migration's
+  ``ship`` bytes.  The series of simulated makespans is recorded; the
+  gate requires the adaptive engine's final makespan to beat static
+  placement despite the shipping cost.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py            # full
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke \
+        --check benchmarks/BENCH_streaming.json                    # CI gate
+
+``--check`` enforces (a) the absolute floor — streamed/bulk query-latency
+ratio <= 1.3x at >= 10k trajectories — and (b) the deterministic
+repartitioning win: adaptive final makespan < static final makespan.
+Timings are min-of-reps (same protocol as ``bench_storage.py``); the
+makespan experiment is simulated time and identical across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.core.config import DITAConfig
+from repro.core.engine import DITAEngine
+from repro.datagen import citywide_dataset, sample_queries
+
+FULL_SIZES = [2_000, 10_000]
+SMOKE_SIZES = [2_000, 10_000]
+N_GROUPS = 8
+TAU = 0.003
+SEED = 11
+#: the acceptance ceiling: streamed steady-state query latency may cost at
+#: most this much relative to a bulk rebuild over the same logical data
+GATE_SCALE = 10_000
+GATE_RATIO = 1.3
+
+
+def best_of(fn: Callable[[], object], reps: int) -> float:
+    """Minimum wall time of ``reps`` runs of ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _cfg(**overrides) -> DITAConfig:
+    base = dict(
+        num_global_partitions=N_GROUPS,
+        trie_fanout=8,
+        num_pivots=4,
+        trie_leaf_capacity=8,
+        cell_size=0.004,
+        delta_max_rows=100_000,  # flushes are read-triggered, not size-triggered
+    )
+    base.update(overrides)
+    return DITAConfig(**base)
+
+
+def bench_delta_read(n: int, reps: int) -> Dict[str, float]:
+    """Stream ``n // 20`` appends into a ``n``-trajectory engine with
+    queries interleaved, then compare steady-state batch-query latency
+    against a bulk build over the same final logical dataset."""
+    base = list(citywide_dataset(n, avg_len=24, seed=SEED, min_len=4, max_len=64))
+    streamed = DITAEngine(base, _cfg())
+    queries = [q for q in sample_queries(base, 16, seed=5, perturb=0.0004)]
+    taus = [TAU] * len(queries)
+    rng = np.random.default_rng(SEED)
+
+    n_appends = max(64, n // 20)
+    n_batches = 8
+    appended = []
+    write_s = 0.0
+    interleaved_s = 0.0
+    interleaved_q = 0
+    probe, probe_taus = queries[:4], taus[:4]
+    for k in range(n_appends):
+        src = base[int(rng.integers(0, len(base)))].points
+        pts = src + rng.normal(0.0, 0.0004, src.shape)
+        t0 = time.perf_counter()
+        streamed.append_trajectory(1_000_000 + k, pts)
+        write_s += time.perf_counter() - t0
+        appended.append((1_000_000 + k, pts))
+        if (k + 1) % (n_appends // n_batches) == 0:
+            # each batch boundary read folds the pending deltas in
+            t0 = time.perf_counter()
+            streamed.search_batch_rows(probe, probe_taus)
+            interleaved_s += time.perf_counter() - t0
+            interleaved_q += len(probe)
+
+    from repro.trajectory import Trajectory
+
+    logical = base + [Trajectory(tid, pts) for tid, pts in appended]
+    bulk = DITAEngine(logical, _cfg())
+
+    def _ids(engine, answers):
+        return [
+            sorted(int(engine.partition(pid).traj_ids[row]) for pid, row, _ in hits)
+            for hits in answers
+        ]
+
+    got = streamed.search_batch_rows(queries, taus)
+    want = bulk.search_batch_rows(queries, taus)
+    assert _ids(streamed, got) == _ids(bulk, want), (
+        "streamed and bulk engines must answer identically"
+    )
+
+    streamed_s = best_of(lambda: streamed.search_batch_rows(queries, taus), reps)
+    bulk_s = best_of(lambda: bulk.search_batch_rows(queries, taus), reps)
+    row = {
+        "n": n,
+        "n_appends": n_appends,
+        "tau": TAU,
+        "append_per_s": n_appends / write_s if write_s > 0 else float("inf"),
+        "interleaved_query_ms": interleaved_s / interleaved_q * 1e3,
+        "streamed_s": streamed_s,
+        "bulk_s": bulk_s,
+        "ratio": streamed_s / bulk_s if bulk_s > 0 else float("inf"),
+    }
+    print(
+        f"  delta-read n={n:<7} streamed {streamed_s*1e3:8.1f} ms   "
+        f"bulk {bulk_s*1e3:8.1f} ms   {row['ratio']:5.2f}x   "
+        f"({n_appends} appends @ {row['append_per_s']:,.0f}/s)"
+    )
+    streamed.shutdown()
+    bulk.shutdown()
+    return row
+
+
+def _skewed_stream(adaptive: bool, n_base: int, n_appends: int) -> Dict[str, object]:
+    """One deterministic simulated run: hot-corner appends + hot-corner
+    queries, optionally repartitioning when skew crosses the threshold."""
+    from repro.trajectory import Trajectory
+
+    base = list(citywide_dataset(n_base, avg_len=16, seed=SEED))
+    cfg = _cfg(repartition_skew_ratio=2.0)
+    cluster = Cluster(n_workers=4)
+    engine = DITAEngine(base, cfg, cluster=cluster)
+    rng = np.random.default_rng(7)
+    hot = np.asarray([0.19, 0.19])
+
+    series: List[Dict[str, float]] = []
+    repartitions = 0
+    batch = max(1, n_appends // 10)
+    for k in range(n_appends):
+        pts = hot + rng.random((6, 2)) * 0.004
+        engine.append_trajectory(2_000_000 + k, pts)
+        if adaptive and engine.maybe_repartition():
+            repartitions += 1
+        if (k + 1) % batch == 0:
+            # hot-corner probes: queries land where the stream concentrates
+            hot_probe = [
+                Trajectory(-1 - j, hot + rng.random((6, 2)) * 0.004) for j in range(8)
+            ]
+            engine.search_batch_rows(hot_probe, [TAU] * len(hot_probe))
+            series.append(
+                {
+                    "appended": k + 1,
+                    "makespan": cluster.report().makespan,
+                    "skew": engine.skew_ratio(),
+                }
+            )
+    out = {
+        "series": series,
+        "final_makespan": series[-1]["makespan"],
+        "final_skew": engine.skew_ratio(),
+        "repartitions": repartitions,
+    }
+    engine.shutdown()
+    return out
+
+
+def bench_repartition(n_base: int, n_appends: int) -> Dict[str, object]:
+    static = _skewed_stream(False, n_base, n_appends)
+    adaptive = _skewed_stream(True, n_base, n_appends)
+    speedup = (
+        static["final_makespan"] / adaptive["final_makespan"]
+        if adaptive["final_makespan"] > 0
+        else float("inf")
+    )
+    print(
+        f"  makespan   static {static['final_makespan']:10.1f}   "
+        f"adaptive {adaptive['final_makespan']:10.1f}   {speedup:5.2f}x   "
+        f"({adaptive['repartitions']} repartitions, "
+        f"skew {static['final_skew']:.2f} -> {adaptive['final_skew']:.2f})"
+    )
+    return {
+        "n_base": n_base,
+        "n_appends": n_appends,
+        "static": static,
+        "adaptive": adaptive,
+        "speedup": speedup,
+    }
+
+
+def check_gate(fresh: dict, committed_path: Path) -> int:
+    """CI gate: the <=1.3x delta-read ceiling at the 10k scale, no >2x
+    regression of any ratio vs. the committed JSON, and the deterministic
+    repartitioning win."""
+    failures: List[str] = []
+    gate_rows = [r for r in fresh["delta_read"] if r["n"] >= GATE_SCALE]
+    if not gate_rows:
+        failures.append(f"no delta-read measurement at n >= {GATE_SCALE}")
+    for r in gate_rows:
+        if r["ratio"] > GATE_RATIO:
+            failures.append(
+                f"streamed/bulk query-latency ratio {r['ratio']:.2f}x at n={r['n']} "
+                f"exceeds the {GATE_RATIO:.1f}x ceiling"
+            )
+    committed = json.loads(committed_path.read_text())
+    com_by_n = {row["n"]: row for row in committed["delta_read"]}
+    for r in fresh["delta_read"]:
+        com = com_by_n.get(r["n"])
+        if com is not None and r["ratio"] > com["ratio"] * 2:
+            failures.append(
+                f"delta-read ratio {r['ratio']:.2f}x at n={r['n']} regressed >2x "
+                f"vs committed {com['ratio']:.2f}x"
+            )
+    rep = fresh["repartition"]
+    if rep["adaptive"]["final_makespan"] >= rep["static"]["final_makespan"]:
+        failures.append(
+            f"adaptive repartitioning makespan {rep['adaptive']['final_makespan']:.1f} "
+            f"does not beat static placement {rep['static']['final_makespan']:.1f}"
+        )
+    if rep["adaptive"]["repartitions"] < 1:
+        failures.append("the skewed stream never triggered a repartition")
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        return 1
+    print(
+        f"check OK vs {committed_path.name}: "
+        + ", ".join(f"n={r['n']} {r['ratio']:.2f}x" for r in fresh["delta_read"])
+        + f", repartition {rep['speedup']:.2f}x"
+    )
+    return 0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="CI-sized run (few reps)")
+    ap.add_argument("--out", type=Path, default=None, help="output JSON path")
+    ap.add_argument(
+        "--check", type=Path, default=None,
+        help="committed BENCH_streaming.json to gate against "
+             "(exit 1 above the 1.3x ceiling, on >2x regression, or if "
+             "repartitioning loses to static placement)",
+    )
+    args = ap.parse_args()
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    reps = 2 if args.smoke else 3
+    out_path = args.out or Path(__file__).resolve().parent / "BENCH_streaming.json"
+
+    print("== delta-read overhead: streamed engine vs bulk rebuild (wall clock) ==")
+    delta_rows = [bench_delta_read(n, reps) for n in sizes]
+    print("== adaptive repartitioning vs static placement (simulated makespan) ==")
+    repartition = bench_repartition(n_base=600, n_appends=200)
+
+    result = {
+        "meta": {
+            "smoke": args.smoke,
+            "reps": reps,
+            "sizes": sizes,
+            "n_groups": N_GROUPS,
+            "tau": TAU,
+            "seed": SEED,
+            "timer": "min-of-reps perf_counter; makespan is simulated",
+        },
+        "delta_read": delta_rows,
+        "repartition": repartition,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    if args.check is not None:
+        sys.exit(check_gate(result, args.check))
+
+
+if __name__ == "__main__":
+    main()

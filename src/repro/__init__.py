@@ -22,7 +22,13 @@ from .core.config import DITAConfig
 from .core.engine import DITAEngine
 from .distances import available_distances, get_distance
 from .obs import MetricsRegistry, Tracer
-from .storage import ColumnarDataset, TrajectoryStore, build_store
+from .storage import (
+    ColumnarDataset,
+    DeltaPartition,
+    GenerationalStore,
+    TrajectoryStore,
+    build_store,
+)
 from .trajectory import Trajectory, TrajectoryDataset
 
 __version__ = "1.0.0"
@@ -31,8 +37,10 @@ __all__ = [
     "ColumnarDataset",
     "DITAConfig",
     "DITAEngine",
+    "DeltaPartition",
     "FaultPlan",
     "FaultReport",
+    "GenerationalStore",
     "MetricsRegistry",
     "RecoveryPolicy",
     "TaskAbandonedError",

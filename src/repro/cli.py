@@ -12,6 +12,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli store build trips.jsonl --out trips.store --groups 8
     python -m repro.cli store inspect trips.store
     python -m repro.cli store verify trips.store
+    python -m repro.cli store merge trips.gens --dataset trips.jsonl --groups 8
+    python -m repro.cli ingest trips.jsonl --n 500 --root trips.gens
     python -m repro.cli bench --kind citywide --n 2000 --mode join --tau 0.002
     python -m repro.cli lint src/
 
@@ -217,6 +219,87 @@ def cmd_store_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store_merge(args: argparse.Namespace) -> int:
+    import json
+
+    from .storage.generations import GenerationalStore
+    from .storage.store import StorageError
+
+    try:
+        if args.dataset:
+            # seed (or advance) the root from a flat dataset file
+            gens = GenerationalStore.open_or_init(args.root)
+            data = load_jsonl(args.dataset)
+            engine = _engine(data, args)
+            engine._generations = gens
+        else:
+            engine = DITAEngine.from_generations(
+                args.root, distance=args.distance
+            )
+        generation = engine.merge(prune=args.prune)
+    except (StorageError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"committed generation {generation}")
+    print(json.dumps(engine.generations.describe(), indent=2))
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from .datagen import sample_queries
+
+    data = load_jsonl(args.dataset)
+    trajs = list(data)
+    engine = _engine(data, args)
+    if args.root:
+        engine.attach_generations(args.root)
+    rng = np.random.default_rng(args.seed)
+    next_id = max(t.traj_id for t in trajs) + 1
+    queries = sample_queries(trajs, max(1, min(8, len(trajs))), seed=args.seed)
+    merges = repartitions = 0
+    latencies = []
+    t0 = time.perf_counter()
+    for k in range(args.n):
+        src = trajs[int(rng.integers(len(trajs)))]
+        jitter = rng.normal(0.0, args.spread, size=src.points.shape)
+        engine.append_trajectory(next_id + k, src.points + jitter)
+        if (k + 1) % args.query_every == 0:
+            q = queries[(k // args.query_every) % len(queries)]
+            tq = time.perf_counter()
+            engine.search(q, args.tau)
+            latencies.append(time.perf_counter() - tq)
+        if engine.maybe_repartition():
+            repartitions += 1
+        if engine.maybe_merge(prune=True):
+            merges += 1
+    if engine.generations is not None and (engine.n_pending or engine._rows_since_merge):
+        # a final merge so the durable root holds everything just ingested
+        engine.merge(prune=True)
+        merges += 1
+    elapsed = time.perf_counter() - t0
+    print(
+        f"ingested {args.n} trajectories in {elapsed:.2f}s "
+        f"({args.n / elapsed:.0f}/s); engine now holds {len(engine)}"
+    )
+    print(
+        f"merges: {merges}  repartitions: {repartitions}  "
+        f"skew ratio: {engine.skew_ratio():.2f}"
+    )
+    if latencies:
+        print(
+            f"queries: {len(latencies)}  mean latency: "
+            f"{1e3 * sum(latencies) / len(latencies):.2f} ms"
+        )
+    if engine.generations is not None:
+        print(f"generation: {engine.generations.generation}")
+    engine.shutdown()
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
     import time
@@ -334,6 +417,17 @@ def build_parser() -> argparse.ArgumentParser:
     q = store_sub.add_parser("inspect", help="print the catalog summary (no block bytes read)")
     q.add_argument("store")
     q.set_defaults(fn=cmd_store_inspect)
+    q = store_sub.add_parser(
+        "merge", help="compact into the next generation of a generational store root"
+    )
+    q.add_argument("root", help="generational store root (holds CURRENT + gen-NNNNN/)")
+    q.add_argument(
+        "--dataset", default=None,
+        help="seed/advance the root from this JSON-lines dataset instead of the live generation",
+    )
+    q.add_argument("--prune", action="store_true", help="delete superseded generations' blocks")
+    _add_engine_args(q)
+    q.set_defaults(fn=cmd_store_merge)
     q = store_sub.add_parser("verify", help="check every block's CRC32 against the catalog")
     q.add_argument("store")
     q.set_defaults(fn=cmd_store_verify)
@@ -359,6 +453,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fanout", type=int, default=8, help="NL, trie fanout")
     p.add_argument("--pivots", type=int, default=4, help="K, pivots per trajectory")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "ingest", help="stream synthetic appends into a live engine (demo of the write path)"
+    )
+    p.add_argument("dataset", help="JSON-lines base dataset")
+    p.add_argument("--n", type=int, default=200, help="trajectories to append")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--spread", type=float, default=0.002, help="jitter stddev around source rows")
+    p.add_argument("--tau", type=float, default=0.004, help="threshold of the interleaved queries")
+    p.add_argument("--query-every", type=int, default=20, help="run one search every N appends")
+    p.add_argument("--root", default=None, help="generational store root to merge into")
+    _add_engine_args(p)
+    p.set_defaults(fn=cmd_ingest)
 
     p = sub.add_parser("lint", help="run the ditalint static-analysis suite")
     from .devtools.lint.cli import add_lint_arguments

@@ -85,6 +85,19 @@ class DITAConfig:
     #: process-pool size for ``backend="process"``; 0 sizes the pool to
     #: the host's CPU count.
     num_processes: int = 0
+    #: streaming ingestion: a partition's delta buffer
+    #: (:class:`~repro.storage.delta.DeltaPartition`) is applied to its
+    #: base block — and the partition's trie rebuilt — once it holds this
+    #: many pending rows, instead of waiting for the next read.
+    delta_max_rows: int = 256
+    #: trigger a background merge (compaction into a new catalog
+    #: generation) once rows written since the last merge exceed this
+    #: fraction of the indexed rows; see ``DITAEngine.maybe_merge``.
+    merge_trigger: float = 0.25
+    #: trigger online repartitioning once the largest partition exceeds
+    #: this multiple of the mean partition size; see
+    #: ``DITAEngine.maybe_repartition``.
+    repartition_skew_ratio: float = 4.0
     #: enable the MBR coverage filter (Lemma 5.4) during verification.
     use_mbr_coverage: bool = True
     #: enable the cell-based lower bound (Lemma 5.6) during verification.
@@ -125,6 +138,12 @@ class DITAConfig:
                 raise ValueError(f"{name} must be in [0, 1]")
         if self.fault_straggler_slowdown < 1:
             raise ValueError("fault_straggler_slowdown must be >= 1")
+        if self.delta_max_rows < 1:
+            raise ValueError("delta_max_rows must be >= 1")
+        if self.merge_trigger <= 0:
+            raise ValueError("merge_trigger must be positive")
+        if self.repartition_skew_ratio < 1:
+            raise ValueError("repartition_skew_ratio must be >= 1")
         if self.backend not in ("simulated", "process"):
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.num_processes < 0:

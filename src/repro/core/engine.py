@@ -39,14 +39,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..cluster.clock import Stopwatch, wall_clock
 from ..cluster.parallel import ExecutorError, ParallelExecutor, SideInit, WorkerInit
 from ..cluster.simulator import Cluster
 from ..cluster.tasks import TaskSpec, run_task_body
 from ..obs import MetricsRegistry
 from ..geometry.mbr import MBR
-from ..storage.columnar import ColumnarDataset
-from ..storage.store import snapshot_partitions
+from ..storage.columnar import ColumnarDataset, concat_datasets
+from ..storage.delta import DeltaPartition
+from ..storage.generations import GenerationalStore
+from ..storage.store import snapshot_partitions, write_catalog, write_partition_block
 from ..trajectory.trajectory import Trajectory
 from .adapters import IndexAdapter, get_adapter
 from .config import DITAConfig
@@ -248,6 +252,57 @@ class DITAEngine:
         self._finish_init(cluster)
         return self
 
+    @classmethod
+    def from_partitions(
+        cls,
+        parts: Dict[int, ColumnarDataset],
+        config: Optional[DITAConfig] = None,
+        distance: "str | IndexAdapter" = "dtw",
+        cluster: Optional[Cluster] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> "DITAEngine":
+        """Bulk-build an engine adopting a *given* partition assignment
+        verbatim (``{pid: dataset}``; empty partitions are dropped).
+
+        This is the differential-testing oracle for streaming ingestion:
+        handing it a streamed engine's ``{pid: engine.partition(pid)}``
+        yields a freshly bulk-built twin with the same partition ids, row
+        numbering and (therefore) byte-identical query results and stats.
+        Pass compact datasets when row numbering must line up.
+        """
+        self = cls.__new__(cls)
+        self.config = config or DITAConfig()
+        self.adapter = _resolve_adapter(distance, self.config)
+        adopted = {int(pid): part for pid, part in parts.items() if len(part)}
+        if not adopted:
+            raise ValueError("cannot index an empty dataset")
+        watch = Stopwatch(clock or wall_clock)
+        self.global_index = GlobalIndex.from_infos(
+            [partition_info(pid, adopted[pid]) for pid in sorted(adopted)], self.config
+        )
+        self.partitions = {pid: adopted[pid] for pid in sorted(adopted)}
+        self._store = None
+        self._unloaded = set()
+        self.tries = {
+            pid: TrieIndex(part, self.config) for pid, part in self.partitions.items()
+        }
+        for trie in self.tries.values():
+            trie.batch_block()
+        self.build_time_s = watch.elapsed()
+        self._finish_init(cluster)
+        return self
+
+    @classmethod
+    def from_generations(cls, root, **kwargs) -> "DITAEngine":
+        """Cold-start from the live generation of a
+        :class:`~repro.storage.generations.GenerationalStore` root, with
+        the generational store attached so :meth:`merge` keeps advancing
+        it.  ``kwargs`` are forwarded to :meth:`from_store`."""
+        gens = GenerationalStore.open(root)
+        self = cls.from_store(gens.current_store(), **kwargs)
+        self._generations = gens
+        return self
+
     def _finish_init(self, cluster: Optional[Cluster]) -> None:
         self.verifier = self.adapter.make_verifier(
             use_mbr_coverage=self.config.use_mbr_coverage,
@@ -266,6 +321,15 @@ class DITAEngine:
             for pid, trie in self.tries.items()
         }
         self._register_rebuilds(cluster)
+        self._init_runtime_state()
+        #: the observability layer (None until tracing is enabled)
+        self.metrics: Optional[MetricsRegistry] = None
+        if self.config.use_tracing:
+            self.enable_tracing()
+
+    def _init_runtime_state(self) -> None:
+        """Mutable non-index state every construction path (including
+        :func:`~repro.core.persistence.load_engine`) must set up."""
         # process-backend state: mutation generation, worker pool and the
         # spilled snapshot a non-store (or mutated) engine hands workers
         self._mutations = 0
@@ -273,10 +337,13 @@ class DITAEngine:
         self._pool_init: Optional[WorkerInit] = None
         self._spill_dir: Optional[str] = None
         self._spill_mutations = -1
-        #: the observability layer (None until tracing is enabled)
-        self.metrics: Optional[MetricsRegistry] = None
-        if self.config.use_tracing:
-            self.enable_tracing()
+        # streaming-ingestion state: per-partition write buffers, the lazy
+        # id -> partition routing map, the merge-trigger counter and the
+        # (optional) generational store merges compact into
+        self._deltas: Dict[int, DeltaPartition] = {}
+        self._stream_ids: Optional[Dict[int, int]] = None
+        self._rows_since_merge = 0
+        self._generations: Optional[GenerationalStore] = None
 
     # ------------------------------------------------------------------ #
     # partition access (lazy for store-backed engines)
@@ -408,11 +475,18 @@ class DITAEngine:
         return len(self.partitions) + len(self._unloaded)
 
     def __len__(self) -> int:
-        return sum(m.size for m in self.global_index.partitions_meta)
+        indexed = sum(m.size for m in self.global_index.partitions_meta)
+        return indexed + sum(d.net_rows for d in self._deltas.values())
+
+    @property
+    def n_pending(self) -> int:
+        """Buffered write operations not yet folded into the index."""
+        return sum(d.n_pending for d in self._deltas.values())
 
     def trajectory(self, traj_id: int) -> Trajectory:
         """Materialize one trajectory by id (KeyError when absent) — the
         boundary accessor result rendering uses; hot paths never call it."""
+        self._sync_streams()
         for pid in self.partition_pids():
             part = self.partition(pid)
             if traj_id in part:
@@ -440,6 +514,7 @@ class DITAEngine:
         exact after any number of inserts.  (On a store-backed engine this
         forces every block to load — updates need the full id set.)
         """
+        self._sync_streams()
         if any(traj.traj_id in self.partition(pid) for pid in self.partition_pids()):
             raise ValueError(f"trajectory id {traj.traj_id} already present")
 
@@ -458,6 +533,7 @@ class DITAEngine:
 
     def remove(self, traj_id: int) -> bool:
         """Remove a trajectory by id from the live index (False if absent)."""
+        self._sync_streams()
         for pid in self.partition_pids():
             part = self.partition(pid)
             if traj_id not in part:
@@ -494,6 +570,347 @@ class DITAEngine:
         # next process-backend call respawns against a fresh one
         self._mutations += 1
         self._close_pool()
+        self._stream_ids = None
+
+    # ------------------------------------------------------------------ #
+    # streaming ingestion (delta buffers, merge, online repartitioning)
+    # ------------------------------------------------------------------ #
+
+    def _delta(self, pid: int) -> DeltaPartition:
+        d = self._deltas.get(pid)
+        if d is None:
+            ndim = None
+            if pid in self.partitions:
+                ndim = self.partitions[pid].ndim
+            elif self._store is not None and pid in self._unloaded:
+                ndim = int(self._store.catalog["ndim"])
+            d = DeltaPartition(ndim)
+            self._deltas[pid] = d
+        return d
+
+    def _id_map(self) -> Dict[int, int]:
+        """``trajectory id -> partition id`` over base and pending rows.
+
+        Built lazily and invalidated by any index refresh; like
+        :meth:`insert`, building it forces a store-backed engine to load
+        every block (updates need the full id set).
+        """
+        if self._stream_ids is None:
+            ids: Dict[int, int] = {}
+            for pid in self.partition_pids():
+                part = self.partition(pid)
+                for tid in part.traj_ids[part.alive_rows()]:
+                    ids[int(tid)] = pid
+            for pid, delta in self._deltas.items():
+                for tid in delta.removed:
+                    ids.pop(tid, None)
+                for tid in delta.appended:
+                    ids[tid] = pid
+            self._stream_ids = ids
+        return self._stream_ids
+
+    def append_trajectory(self, traj_id: int, points) -> int:
+        """Buffer a new trajectory in its home partition's delta; returns
+        the partition id it was routed to.
+
+        Routing is the same least-enlargement rule as :meth:`insert`, but
+        the write is O(1): no block, trie or global-index bytes move until
+        the delta is applied (at ``delta_max_rows``, or lazily by the next
+        query).  Queries between now and then still see the trajectory —
+        the read path folds pending deltas in first — with results and
+        stats byte-identical to a bulk rebuild over the same logical data.
+        """
+        traj_id = int(traj_id)
+        if traj_id in self._id_map():
+            raise ValueError(f"trajectory id {traj_id} already present")
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        first, last = MBR.of_point(pts[0]), MBR.of_point(pts[-1])
+
+        def enlargement(meta) -> float:
+            grown_f = meta.mbr_first.union(first)
+            grown_l = meta.mbr_last.union(last)
+            return (grown_f.area() - meta.mbr_first.area()) + (
+                grown_l.area() - meta.mbr_last.area()
+            )
+
+        meta = min(
+            self.global_index.partitions_meta, key=lambda m: (enlargement(m), m.partition_id)
+        )
+        pid = meta.partition_id
+        self._delta(pid).append(traj_id, pts)
+        self._stream_ids[traj_id] = pid
+        self._note_write(pid)
+        return pid
+
+    def extend_trajectory(self, traj_id: int, extra_points) -> None:
+        """Buffer extra points onto an existing trajectory (KeyError when
+        absent).  A base row is shadowed by a delta row holding the full
+        extended point array; a pending row just grows in place."""
+        traj_id = int(traj_id)
+        pid = self._id_map().get(traj_id)
+        if pid is None:
+            raise KeyError(traj_id)
+        delta = self._delta(pid)
+        if traj_id in delta.appended:
+            delta.extend_pending(traj_id, extra_points)
+        else:
+            part = self.partition(pid)
+            pts = np.atleast_2d(np.asarray(extra_points, dtype=np.float64))
+            full = np.concatenate([part.points(part.row_of(traj_id)), pts], axis=0)
+            delta.replace(traj_id, full)
+        self._note_write(pid)
+
+    def remove_trajectory(self, traj_id: int) -> bool:
+        """Buffer a removal (False when the id is unknown)."""
+        traj_id = int(traj_id)
+        ids = self._id_map()
+        pid = ids.get(traj_id)
+        if pid is None:
+            return False
+        self._delta(pid).remove(traj_id)
+        del ids[traj_id]
+        self._note_write(pid)
+        return True
+
+    def _note_write(self, pid: int) -> None:
+        self._rows_since_merge += 1
+        if self._deltas[pid].n_pending >= self.config.delta_max_rows:
+            self.flush_deltas([pid])
+
+    def flush_deltas(self, pids: Optional[Iterable[int]] = None) -> int:
+        """Fold pending deltas into their partitions' live indexes.
+
+        Each dirty partition becomes one new compact dataset (surviving
+        base rows in base order, then delta rows in arrival order) with a
+        freshly bulk-built trie — the canonical layout, so the resulting
+        index is structurally identical to any bulk build over the same
+        logical rows.  Returns the number of operations applied.
+        """
+        if pids is None:
+            items = [(pid, self._deltas.pop(pid)) for pid in sorted(self._deltas)]
+        else:
+            items = [
+                (pid, self._deltas.pop(pid)) for pid in sorted(pids) if pid in self._deltas
+            ]
+        items = [(pid, d) for pid, d in items if d]
+        if not items:
+            return 0
+        applied = 0
+        for pid, delta in items:
+            applied += delta.n_pending
+            base = None
+            if pid in self.partitions or pid in self._unloaded:
+                base = self.partition(pid)
+            part = delta.apply(base)
+            if len(part) == 0:
+                self.partitions.pop(pid, None)
+                self.tries.pop(pid, None)
+                self._searchers.pop(pid, None)
+                self._unloaded.discard(pid)
+                continue
+            self.partitions[pid] = part
+            trie = TrieIndex(part, self.config)
+            trie.batch_block()
+            self.tries[pid] = trie
+            self._unloaded.discard(pid)
+        self._refresh_global_index()
+        return applied
+
+    def _sync_streams(self) -> None:
+        """Reads call this first: fold any pending deltas so the query
+        plan runs over base ∪ delta."""
+        if self._deltas:
+            self.flush_deltas()
+
+    # -- background merge ---------------------------------------------- #
+
+    def attach_generations(self, root) -> GenerationalStore:
+        """Attach (opening or initialising) the generational store that
+        :meth:`merge` compacts into."""
+        self._generations = GenerationalStore.open_or_init(root)
+        return self._generations
+
+    @property
+    def generations(self) -> Optional[GenerationalStore]:
+        return self._generations
+
+    def merge(self, prune: bool = False) -> int:
+        """Compact the live partitions into a new catalog generation and
+        re-base the engine onto it; returns the committed generation.
+
+        Each partition is written by a simulated task homed on the
+        partition's worker (``tag="merge.partition"``; the block writer is
+        idempotent, so fault-injected retries are safe), then the catalog
+        is written and the generation commits atomically.  Any failure —
+        including a task abandoned after exhausting retries — aborts the
+        staging directory and re-raises, leaving ``CURRENT`` (and the
+        engine) exactly as before: readers can never observe a torn image.
+
+        After the commit the engine adopts the new generation as its
+        store with all partitions lazily mapped and the mutation counter
+        cleared, so process-backend workers attach straight to the merged
+        blocks (no spill).  With ``prune=True`` superseded generations'
+        blocks are deleted afterwards.
+        """
+        if self._generations is None:
+            raise ValueError(
+                "no generational store attached; call attach_generations() first"
+            )
+        self.flush_deltas()
+        pids = self.partition_pids()
+        if not pids:
+            raise ValueError("cannot merge an empty engine")
+        gens = self._generations
+        staging, gen = gens.begin()
+        try:
+            metas = []
+            for pid in pids:
+                part = self.partition(pid).compact()
+                meta = self.cluster.run_local(
+                    pid,
+                    lambda p=part, i=pid: write_partition_block(staging, i, p),
+                    work=self.global_index.meta(pid).size,
+                    tag="merge.partition",
+                )
+                metas.append(meta)
+            ndim = next(iter(self.partitions.values())).ndim
+            write_catalog(staging, metas, ndim, self.config.num_global_partitions)
+            gens.commit(gen)
+        except BaseException:
+            gens.abort(gen)
+            raise
+        store = gens.current_store()
+        self._store = store
+        self.partitions = {}
+        self.tries = {}
+        self._unloaded = set(store.metas)
+        self.global_index = GlobalIndex.from_infos(
+            [_info_from_store_meta(store.metas[pid]) for pid in sorted(store.metas)],
+            self.config,
+        )
+        self.cluster.place_partitions(self.partition_pids())
+        self._searchers = {}
+        self._register_rebuilds(self.cluster)
+        self._mutations = 0
+        self._close_pool()
+        self._drop_spill()
+        self._stream_ids = None
+        self._rows_since_merge = 0
+        if prune:
+            gens.prune()
+        return gen
+
+    def maybe_merge(self, prune: bool = False) -> bool:
+        """Merge when rows written since the last merge exceed
+        ``merge_trigger`` × the indexed size (False when no generational
+        store is attached or the trigger hasn't tripped)."""
+        if self._generations is None:
+            return False
+        total = len(self)
+        if total == 0:
+            return False
+        if self._rows_since_merge / total < self.config.merge_trigger:
+            return False
+        self.merge(prune=prune)
+        return True
+
+    # -- online repartitioning ----------------------------------------- #
+
+    def skew_ratio(self) -> float:
+        """Largest partition size over the mean (pending delta rows
+        included) — the load-imbalance signal the repartition trigger
+        watches."""
+        pending: Dict[int, int] = {pid: d.net_rows for pid, d in self._deltas.items()}
+        sizes = [
+            m.size + pending.pop(m.partition_id, 0)
+            for m in self.global_index.partitions_meta
+        ]
+        sizes.extend(n for n in pending.values() if n > 0)
+        sizes = [n for n in sizes if n > 0]
+        if not sizes:
+            return 1.0
+        return max(sizes) * len(sizes) / sum(sizes)
+
+    def repartition(self) -> bool:
+        """Re-run the first/last-point STR partitioning over the full
+        logical dataset and migrate trajectories to their new homes.
+
+        Destination indexes are staged (and their lineage registered with
+        the cluster) before any migration is accounted, and the engine
+        adopts the new layout only after every transfer lands: a shipment
+        abandoned mid-migration (crashed endpoints, dropped messages past
+        the retry budget) raises out of this method with the old layout —
+        partitions, tries, global index, placement — fully intact.
+
+        Transfers go through the simulator's :meth:`~repro.cluster.simulator.Cluster.ship`
+        accounting, one aggregated shipment per (source, destination)
+        partition pair, charging only rows whose partition id changes.
+        """
+        self.flush_deltas()
+        old_pids = self.partition_pids()
+        if not old_pids:
+            return False
+        for pid in old_pids:
+            self._ensure_loaded(pid)
+        id_to_old: Dict[int, int] = {}
+        for pid in old_pids:
+            part = self.partitions[pid]
+            for tid in part.traj_ids[part.alive_rows()]:
+                id_to_old[int(tid)] = pid
+        logical = concat_datasets([self.partitions[pid] for pid in sorted(old_pids)])
+        groups = partition_trajectories(logical, self.config.num_global_partitions)
+        new_parts = {npid: part for npid, part in enumerate(groups) if len(part)}
+        staged: Dict[int, TrieIndex] = {}
+        for npid, part in new_parts.items():
+            trie = TrieIndex(part, self.config)
+            trie.batch_block()
+            staged[npid] = trie
+        # destinations live beside the old partitions during migration:
+        # place them, register their lineage, then account the transfers
+        offset = max(old_pids) + 1
+        self.cluster.place_partitions(
+            old_pids + [offset + npid for npid in sorted(new_parts)]
+        )
+        self._register_rebuilds(self.cluster)
+        for npid, part in sorted(new_parts.items()):
+            self.cluster.register_rebuild(
+                offset + npid,
+                self._make_stage_rebuild(staged, npid, part),
+                work=len(part),
+            )
+        for npid, part in sorted(new_parts.items()):
+            by_src: Dict[int, int] = {}
+            for row in range(part.n_rows):
+                src = id_to_old[int(part.traj_ids[row])]
+                if src == npid:
+                    continue
+                nbytes = int(part.lengths[row]) * part.ndim * 8
+                by_src[src] = by_src.get(src, 0) + nbytes
+            for src in sorted(by_src):
+                self.cluster.ship(src, offset + npid, by_src[src])
+        self.partitions = new_parts
+        self.tries = staged
+        self._store = None
+        self._unloaded = set()
+        self._refresh_global_index()
+        return True
+
+    def _make_stage_rebuild(
+        self, staged: Dict[int, TrieIndex], npid: int, part: ColumnarDataset
+    ) -> Callable[[], None]:
+        def rebuild() -> None:
+            trie = TrieIndex(part, self.config)
+            trie.batch_block()
+            staged[npid] = trie
+
+        return rebuild
+
+    def maybe_repartition(self) -> bool:
+        """Repartition when :meth:`skew_ratio` exceeds the config's
+        ``repartition_skew_ratio``."""
+        if self.skew_ratio() <= self.config.repartition_skew_ratio:
+            return False
+        return self.repartition()
 
     # ------------------------------------------------------------------ #
     # execution backends (the Executor seam)
@@ -681,6 +1098,7 @@ class DITAEngine:
         """
         if tau < 0:
             raise ValueError("tau must be non-negative")
+        self._sync_streams()
         tracer = self.cluster.tracer
         track = stats is not None or tracer is not None or self.metrics is not None
         job_stats = SearchStats() if track else None
@@ -774,6 +1192,7 @@ class DITAEngine:
         for tau in taus:
             if tau < 0:
                 raise ValueError("tau must be non-negative")
+        self._sync_streams()
         tracer = self.cluster.tracer
         track = stats is not None or tracer is not None or self.metrics is not None
         internal = [SearchStats() for _ in queries] if track else None
@@ -853,6 +1272,7 @@ class DITAEngine:
 
     def count_candidates(self, query: Trajectory, tau: float) -> int:
         """Total trie candidates across relevant partitions (Fig 17 metric)."""
+        self._sync_streams()
         relevant = self.global_index.relevant_partitions(query.points, tau, self.adapter)
         total = 0
         for pid in relevant:
@@ -881,6 +1301,9 @@ class DITAEngine:
         """
         if tau < 0:
             raise ValueError("tau must be non-negative")
+        self._sync_streams()
+        if other is not self:
+            other._sync_streams()
         # a joint cluster namespace: re-place both engines' partitions and
         # register both sides' lineage closures under the joint ids
         cluster = self.cluster

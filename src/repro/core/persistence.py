@@ -125,6 +125,7 @@ def load_engine(path: PathLike, cluster: Cluster | None = None) -> DITAEngine:
         cluster = Cluster(n_workers=min(16, max(1, len(engine.partitions))))
     engine.cluster = cluster
     cluster.place_partitions(sorted(engine.partitions))
+    engine._init_runtime_state()
     engine.metrics = None
     if config.use_tracing:
         engine.enable_tracing()

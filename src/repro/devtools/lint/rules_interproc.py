@@ -12,9 +12,10 @@ a per-file walker provably cannot check:
 * **DIT009**: every ``Tracer.begin`` needs a guaranteed matching ``end``
   (``tracer.job()`` context manager or try/finally), or early returns and
   exceptions leave the driver span stack unbalanced.
-* **DIT010**: an entry point that submits partition tasks must have
-  lineage registered on some path (``register_rebuild``), or PR 4's
-  crash recovery has nothing to replay.
+* **DIT010**: an entry point that submits partition tasks — or migrates
+  partition bytes between workers via ``ship`` — must have lineage
+  registered on some path (``register_rebuild``), or PR 4's crash
+  recovery has nothing to replay.
 """
 
 from __future__ import annotations
@@ -337,7 +338,11 @@ class LineageCoverageRule(ProjectRule):
         "equivalence under faults *given* that registration. A new engine "
         "entry point that calls run_local/run_on_worker without lineage "
         "registered on any path would pass every per-file check and still "
-        "lose state on the first injected crash. DIT010 accepts a "
+        "lose state on the first injected crash. The same holds for "
+        "migration entry points: ship() moves partition bytes between "
+        "workers, and a migration whose destination has no registered "
+        "rebuild closure strands the shipped partition the moment its new "
+        "worker dies. DIT010 accepts a "
         "submission if register_rebuild is reachable from the submitting "
         "function, its class constructor, a direct caller, or the "
         "constructor of a parameter's class (the engine-passed-in "
@@ -365,7 +370,7 @@ class LineageCoverageRule(ProjectRule):
                 c
                 for c in _walk_own_calls(fn.node)
                 if isinstance(c.func, ast.Attribute)
-                and c.func.attr in ("run_local", "run_on_worker")
+                and c.func.attr in ("run_local", "run_on_worker", "ship")
             ]
             if not submit_calls:
                 continue
@@ -389,7 +394,8 @@ class LineageCoverageRule(ProjectRule):
                 fn.path,
                 first.lineno,
                 first.col_offset + 1,
-                f"{_short(fn.qualname)} submits partition tasks but no path "
+                f"{_short(fn.qualname)} submits or migrates partition tasks "
+                "but no path "
                 "(self, constructor, caller, or engine parameter) registers a "
                 "rebuild closure via register_rebuild; a worker crash cannot "
                 "be recovered — register lineage or set "

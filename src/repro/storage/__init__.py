@@ -9,7 +9,9 @@
   catalog-level partition pruning and lazy loading.
 """
 
-from .columnar import ColumnarDataset, partition_rows
+from .columnar import ColumnarDataset, concat_datasets, partition_rows
+from .delta import DeltaPartition
+from .generations import CURRENT_NAME, GenerationalStore
 from .store import (
     BLOCK_ARRAYS,
     CATALOG_NAME,
@@ -21,19 +23,29 @@ from .store import (
     StorageError,
     TrajectoryStore,
     build_store,
+    snapshot_partitions,
+    write_catalog,
+    write_partition_block,
 )
 
 __all__ = [
     "BLOCK_ARRAYS",
     "CATALOG_NAME",
+    "CURRENT_NAME",
     "STORAGE_FORMAT_VERSION",
     "ChecksumError",
     "ColumnarDataset",
     "CorruptBlockError",
+    "DeltaPartition",
+    "GenerationalStore",
     "PartitionMeta",
     "SchemaVersionError",
     "StorageError",
     "TrajectoryStore",
     "build_store",
+    "concat_datasets",
     "partition_rows",
+    "snapshot_partitions",
+    "write_catalog",
+    "write_partition_block",
 ]

@@ -380,6 +380,25 @@ class ColumnarDataset:
         return f"ColumnarDataset(n={len(self)}, points={self.n_points}, d={self.ndim})"
 
 
+def concat_datasets(parts: Sequence[ColumnarDataset]) -> ColumnarDataset:
+    """One compact dataset holding every alive row of ``parts``, in order.
+
+    Row order is each part's alive order, parts in the given sequence
+    order — the canonical layout online repartitioning feeds back into
+    :func:`partition_rows`.  Trajectory ids must be unique across parts.
+    """
+    parts = [p if p._dead is None else p.compact() for p in parts]
+    parts = [p for p in parts if p.n_rows]
+    if not parts:
+        return ColumnarDataset.empty()
+    ids = np.concatenate([p.traj_ids for p in parts])
+    lens = np.concatenate([p.lengths for p in parts])
+    starts = np.zeros(ids.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lens, out=starts[1:])
+    coords = np.concatenate([p.point_coords for p in parts], axis=0)
+    return ColumnarDataset(ids, starts, coords)
+
+
 def partition_rows(dataset: ColumnarDataset, n_groups: int) -> List[np.ndarray]:
     """First/last-point STR partitioning over the summary arrays.
 

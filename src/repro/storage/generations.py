@@ -1,0 +1,194 @@
+"""Catalog generations: atomic advance for the streaming merge stage.
+
+A generational store is a directory of complete
+:class:`~repro.storage.store.TrajectoryStore` snapshots plus one pointer
+file::
+
+    root/
+      CURRENT                 # {"generation": 3, "tombstoned": [1, 2]}
+      gen-00001/              # a full store (catalog.json + blocks)
+      gen-00002/
+      gen-00003/              # <- what CURRENT points at
+
+Readers resolve ``CURRENT`` once and open the generation it names; the
+blocks of superseded generations stay on disk (merely *tombstoned* in
+``CURRENT``) until :meth:`GenerationalStore.prune`, so a reader holding
+memory maps into an old generation keeps a complete, consistent image —
+there is no moment at which any reader can observe a torn store.
+
+Writers build the next generation under a ``.staging`` directory that no
+reader ever resolves, then :meth:`commit` renames it into place and swaps
+``CURRENT`` with ``os.replace`` (atomic on POSIX).  A crash before commit
+leaves only staging garbage (:meth:`abort` or the next :meth:`begin`
+clears it); a crash after commit leaves the new generation fully live.
+Either way ``CURRENT`` never names a partially-written store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from .store import CATALOG_NAME, PathLike, StorageError, TrajectoryStore
+
+CURRENT_NAME = "CURRENT"
+_STAGING_SUFFIX = ".staging"
+
+
+def _gen_dirname(generation: int) -> str:
+    return f"gen-{generation:05d}"
+
+
+class GenerationalStore:
+    """The root of a generation-versioned trajectory store."""
+
+    def __init__(self, root: Path, state: dict) -> None:
+        self.root = root
+        self._state = state
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def init(cls, root: PathLike) -> "GenerationalStore":
+        """Create an empty generational root (generation 0 = no data)."""
+        root = Path(root)
+        if (root / CURRENT_NAME).exists():
+            raise StorageError(f"generational store already exists at {root}")
+        root.mkdir(parents=True, exist_ok=True)
+        self = cls(root, {"generation": 0, "tombstoned": []})
+        self._write_current()
+        return self
+
+    @classmethod
+    def open(cls, root: PathLike) -> "GenerationalStore":
+        root = Path(root)
+        pointer = root / CURRENT_NAME
+        if not pointer.is_file():
+            raise StorageError(f"no {CURRENT_NAME} under {root}")
+        try:
+            state = json.loads(pointer.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"unreadable {CURRENT_NAME} at {pointer}: {exc}") from exc
+        gen = int(state.get("generation", -1))
+        if gen < 0:
+            raise StorageError(f"{pointer} holds no valid generation number")
+        if gen > 0 and not (root / _gen_dirname(gen) / CATALOG_NAME).is_file():
+            raise StorageError(
+                f"{CURRENT_NAME} names generation {gen} but "
+                f"{_gen_dirname(gen)}/{CATALOG_NAME} is missing"
+            )
+        return cls(root, state)
+
+    @classmethod
+    def open_or_init(cls, root: PathLike) -> "GenerationalStore":
+        root = Path(root)
+        if (root / CURRENT_NAME).is_file():
+            return cls.open(root)
+        return cls.init(root)
+
+    def _write_current(self) -> None:
+        tmp = self.root / (CURRENT_NAME + ".tmp")
+        tmp.write_text(json.dumps(self._state, indent=1, sort_keys=True))
+        os.replace(tmp, self.root / CURRENT_NAME)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    @property
+    def generation(self) -> int:
+        """The live generation number (0 before the first commit)."""
+        return int(self._state["generation"])
+
+    def tombstoned(self) -> List[int]:
+        """Superseded generations whose blocks are still on disk."""
+        return [int(g) for g in self._state.get("tombstoned", [])]
+
+    def generation_path(self, generation: int) -> Path:
+        return self.root / _gen_dirname(generation)
+
+    def current_path(self) -> Path:
+        """Directory of the live generation (raises before first commit)."""
+        if self.generation == 0:
+            raise StorageError(f"generational store at {self.root} holds no data yet")
+        return self.generation_path(self.generation)
+
+    def current_store(self, **kwargs) -> TrajectoryStore:
+        """Open the live generation as a :class:`TrajectoryStore`."""
+        return TrajectoryStore.open(self.current_path(), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def begin(self) -> Tuple[Path, int]:
+        """Start building the next generation; returns its staging
+        directory (created empty — leftover staging from a crashed writer
+        is cleared) and the generation number it will commit as."""
+        nxt = self.generation + 1
+        staging = self.root / (_gen_dirname(nxt) + _STAGING_SUFFIX)
+        if staging.exists():
+            shutil.rmtree(staging)
+        final = self.generation_path(nxt)
+        if final.exists():  # a crashed pre-CURRENT commit; never referenced
+            shutil.rmtree(final)
+        staging.mkdir(parents=True)
+        return staging, nxt
+
+    def commit(self, generation: int) -> Path:
+        """Atomically make ``generation`` live: rename its staging
+        directory into place, then swap ``CURRENT``.  The previous
+        generation is tombstoned, not deleted."""
+        if generation != self.generation + 1:
+            raise StorageError(
+                f"cannot commit generation {generation}: current is {self.generation}"
+            )
+        staging = self.root / (_gen_dirname(generation) + _STAGING_SUFFIX)
+        final = self.generation_path(generation)
+        if not (staging / CATALOG_NAME).is_file():
+            raise StorageError(f"staging {staging} holds no {CATALOG_NAME}")
+        os.replace(staging, final)
+        prev = self.generation
+        if prev > 0:
+            self._state.setdefault("tombstoned", []).append(prev)
+        self._state["generation"] = generation
+        self._write_current()
+        return final
+
+    def abort(self, generation: int) -> None:
+        """Discard a staging generation; ``CURRENT`` is untouched."""
+        staging = self.root / (_gen_dirname(generation) + _STAGING_SUFFIX)
+        shutil.rmtree(staging, ignore_errors=True)
+
+    def prune(self) -> List[int]:
+        """Delete tombstoned generations' blocks; returns what was pruned.
+
+        Only safe once no reader still holds maps into them — the caller
+        decides when that is (a single-process engine can prune right
+        after re-basing onto the new generation)."""
+        pruned: List[int] = []
+        for gen in self.tombstoned():
+            shutil.rmtree(self.generation_path(gen), ignore_errors=True)
+            pruned.append(gen)
+        self._state["tombstoned"] = []
+        self._write_current()
+        return pruned
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary (the ``repro store merge`` payload)."""
+        out = {
+            "root": str(self.root),
+            "generation": self.generation,
+            "tombstoned": self.tombstoned(),
+        }
+        if self.generation > 0:
+            out["current"] = str(self.current_path())
+        return out
+
+    def __repr__(self) -> str:
+        return f"GenerationalStore(root={str(self.root)!r}, generation={self.generation})"

@@ -156,6 +156,44 @@ def _write_block(part_dir: Path, part: ColumnarDataset) -> Dict[str, int]:
     return checksums
 
 
+def write_partition_block(path: PathLike, pid: int, part: ColumnarDataset) -> PartitionMeta:
+    """Write one partition's block directory under ``path`` and return its
+    catalog metadata.  Idempotent (a retried writer task overwrites its own
+    partial output), so fault-tolerant builders can re-run it safely."""
+    path = Path(path)
+    directory = f"part-{pid:05d}"
+    checksums = _write_block(path / directory, part)
+    return PartitionMeta(
+        partition_id=pid,
+        directory=directory,
+        n_trajectories=part.n_rows,
+        n_points=part.n_points,
+        nbytes=part.nbytes(),
+        min_len=int(part.lengths.min()),
+        mbr_first=MBR(part.firsts.min(axis=0), part.firsts.max(axis=0)),
+        mbr_last=MBR(part.lasts.min(axis=0), part.lasts.max(axis=0)),
+        mbr=MBR(part.mbr_lows.min(axis=0), part.mbr_highs.max(axis=0)),
+        checksums=checksums,
+    )
+
+
+def write_catalog(
+    path: PathLike, metas: Sequence[PartitionMeta], ndim: int, n_groups: int
+) -> None:
+    """Write ``catalog.json`` over already-written partition blocks — the
+    last step of any store build; a directory without it is never a store."""
+    catalog = {
+        "format_version": STORAGE_FORMAT_VERSION,
+        "ndim": int(ndim),
+        "n_groups": int(n_groups),
+        "n_trajectories": sum(m.n_trajectories for m in metas),
+        "n_points": sum(m.n_points for m in metas),
+        "dtypes": dict(BLOCK_ARRAYS),
+        "partitions": [m.to_json() for m in metas],
+    }
+    (Path(path) / CATALOG_NAME).write_text(json.dumps(catalog, indent=1, sort_keys=True))
+
+
 def build_store(
     dataset,
     path: PathLike,
@@ -230,34 +268,8 @@ def snapshot_partitions(
     if (path / CATALOG_NAME).exists():
         raise StorageError(f"store already exists at {path}")
     path.mkdir(parents=True, exist_ok=True)
-    metas: List[dict] = []
-    for pid in sorted(parts):
-        part = parts[pid]
-        directory = f"part-{pid:05d}"
-        checksums = _write_block(path / directory, part)
-        meta = PartitionMeta(
-            partition_id=pid,
-            directory=directory,
-            n_trajectories=part.n_rows,
-            n_points=part.n_points,
-            nbytes=part.nbytes(),
-            min_len=int(part.lengths.min()),
-            mbr_first=MBR(part.firsts.min(axis=0), part.firsts.max(axis=0)),
-            mbr_last=MBR(part.lasts.min(axis=0), part.lasts.max(axis=0)),
-            mbr=MBR(part.mbr_lows.min(axis=0), part.mbr_highs.max(axis=0)),
-            checksums=checksums,
-        )
-        metas.append(meta.to_json())
-    catalog = {
-        "format_version": STORAGE_FORMAT_VERSION,
-        "ndim": ndim,
-        "n_groups": n_groups,
-        "n_trajectories": sum(p.n_rows for p in parts.values()),
-        "n_points": sum(p.n_points for p in parts.values()),
-        "dtypes": dict(BLOCK_ARRAYS),
-        "partitions": metas,
-    }
-    (path / CATALOG_NAME).write_text(json.dumps(catalog, indent=1, sort_keys=True))
+    metas = [write_partition_block(path, pid, parts[pid]) for pid in sorted(parts)]
+    write_catalog(path, metas, ndim, n_groups)
     return TrajectoryStore.open(path)
 
 

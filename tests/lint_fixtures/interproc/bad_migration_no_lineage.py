@@ -1,0 +1,16 @@
+"""DIT010 positive for migrations: a repartitioner ships partition bytes
+to new workers but no path registers a rebuild closure — the shipped
+partition is stranded the moment its destination worker crashes."""
+
+
+class ForgetfulRepartitioner:
+    def __init__(self, cluster, partitions):
+        self.cluster = cluster
+        self.partitions = partitions
+
+    def repartition(self, plan):
+        moved = 0
+        for (src, dst), nbytes in sorted(plan.items()):
+            self.cluster.ship(src, dst, nbytes)
+            moved += nbytes
+        return moved

@@ -1,0 +1,27 @@
+"""DIT010 negative for migrations: ship() call sites whose lineage is
+registered on the submitting path itself, and via a direct caller."""
+
+
+class AdaptiveEngine:
+    def __init__(self, cluster, partitions):
+        self.cluster = cluster
+        self.partitions = partitions
+
+    def repartition(self, destinations, moves):
+        # destinations get their rebuild closures before any byte moves
+        for dst, part in sorted(destinations.items()):
+            self.cluster.register_rebuild(dst, lambda p=part: p)
+        for src, dst, nbytes in moves:
+            self.cluster.ship(src, dst, nbytes)
+        return len(moves)
+
+
+def _migrate_all(cluster, moves):
+    for src, dst, nbytes in moves:
+        cluster.ship(src, dst, nbytes)
+
+
+def rebalance(cluster, moves):
+    for _, dst, _ in moves:
+        cluster.register_rebuild(dst, lambda p=dst: p)
+    _migrate_all(cluster, moves)

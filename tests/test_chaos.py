@@ -206,6 +206,103 @@ class TestStragglerSpeculation:
         assert fast.faults.speculative_tasks > 0
 
 
+class TestStreamingChaos:
+    """Faults injected mid-merge and mid-migration: the catalog generation
+    either fully advances or fully rolls back, and an abandoned migration
+    leaves the old layout byte-for-byte live — never a torn image."""
+
+    def _streamed(self, city, make_adapter=None):
+        """A streamed engine with a skewed write pattern: every append
+        lands in one hot corner, so a later repartition must migrate rows
+        (the STR boundaries move)."""
+        engine = DITAEngine(city, CFG, distance=(make_adapter or ADAPTERS[0][1])())
+        for k in range(10):
+            base = city[k % len(city)].points
+            engine.append_trajectory(8_000 + k, base * 0.02 + 0.24 + 0.0005 * k)
+        return engine
+
+    @pytest.mark.parametrize("chaos_seed", range(4))
+    def test_merge_survives_worker_crashes(self, chaos_seed, city, queries, tmp_path):
+        from repro.storage import TrajectoryStore
+
+        name, make_adapter, search_tau, _ = ADAPTERS[chaos_seed % len(ADAPTERS)]
+        healthy = self._streamed(city, make_adapter)
+        want = [_ids(healthy.search(q, search_tau)) for q in queries]
+        engine = self._streamed(city, make_adapter)
+        gens = engine.attach_generations(tmp_path / "gens")
+        plan = FaultPlan(
+            seed=chaos_seed, worker_crash_rate=0.6, crash_after_tasks_max=2,
+            task_failure_rate=0.2,
+        )
+        engine.cluster.install_faults(plan, PATIENT)
+        assert engine.merge() == 1
+        # the committed generation is a complete, checksum-clean store
+        TrajectoryStore.open(gens.current_path(), verify=True)
+        got = [_ids(engine.search(q, search_tau)) for q in queries]
+        assert got == want, f"adapter={name}"
+
+    def test_abandoned_merge_rolls_back(self, city, queries, tmp_path):
+        engine = self._streamed(city)
+        gens = engine.attach_generations(tmp_path / "gens")
+        engine.merge() == 1  # a healthy baseline generation
+        engine.append_trajectory(9_999, city[0].points + 0.001)
+        current = (tmp_path / "gens" / "CURRENT").read_text()
+        engine.cluster.install_faults(
+            FaultPlan(seed=3, task_failure_rate=1.0), RecoveryPolicy(max_retries=2)
+        )
+        with pytest.raises(TaskAbandonedError):
+            engine.merge()
+        # full rollback: CURRENT untouched, no staging or gen-2 debris
+        assert (tmp_path / "gens" / "CURRENT").read_text() == current
+        assert gens.generation == 1
+        assert not (tmp_path / "gens" / "gen-00002").exists()
+        assert not list((tmp_path / "gens").glob("*.staging"))
+        # and the engine still answers from its pre-merge state
+        engine.cluster.clear_faults()
+        want = self._streamed(city)
+        want.append_trajectory(9_999, city[0].points + 0.001)
+        for q in queries:
+            assert _ids(engine.search(q, 0.004)) == _ids(want.search(q, 0.004))
+
+    @pytest.mark.parametrize("chaos_seed", range(4))
+    def test_migration_survives_crashes_and_drops(self, chaos_seed, city, queries, tmp_path):
+        name, make_adapter, search_tau, _ = ADAPTERS[chaos_seed % len(ADAPTERS)]
+        healthy = self._streamed(city, make_adapter)
+        healthy.repartition()
+        want = [_ids(healthy.search(q, search_tau)) for q in queries]
+        engine = self._streamed(city, make_adapter)
+        plan = FaultPlan(
+            seed=chaos_seed, worker_crash_rate=0.5, crash_after_tasks_max=2,
+            message_drop_rate=0.3,
+        )
+        engine.cluster.install_faults(plan, PATIENT)
+        assert engine.repartition()
+        got = [_ids(engine.search(q, search_tau)) for q in queries]
+        assert got == want, f"adapter={name}"
+
+    def test_abandoned_migration_leaves_layout_intact(self, city, queries):
+        engine = self._streamed(city)
+        engine.flush_deltas()
+        pids_before = engine.partition_pids()
+        parts_before = {pid: engine.partition(pid) for pid in pids_before}
+        tries_before = dict(engine.tries)
+        engine.cluster.install_faults(
+            FaultPlan(seed=1, message_drop_rate=1.0), RecoveryPolicy(max_retries=2)
+        )
+        with pytest.raises(TaskAbandonedError) as exc:
+            engine.repartition()
+        assert exc.value.what.startswith("message")
+        # the old layout is still live, object-for-object
+        assert engine.partition_pids() == pids_before
+        assert all(engine.partition(pid) is parts_before[pid] for pid in pids_before)
+        assert all(engine.tries[pid] is tries_before[pid] for pid in pids_before)
+        engine.cluster.clear_faults()
+        want = self._streamed(city)
+        want.flush_deltas()
+        for q in queries:
+            assert _ids(engine.search(q, 0.004)) == _ids(want.search(q, 0.004))
+
+
 # --------------------------------------------------------------------- #
 # hypothesis fuzz of the decision primitives (optional dependency)
 # --------------------------------------------------------------------- #

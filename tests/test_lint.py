@@ -298,6 +298,19 @@ class TestInterprocFixtures:
         kept, _ = lint_fixture("interproc/good_lineage.py")
         assert kept == []
 
+    def test_dit010_migration_without_lineage(self):
+        """ship() is a submission site too: migrating partition bytes to a
+        destination with no registered rebuild closure is unrecoverable."""
+        kept, _ = lint_fixture("interproc/bad_migration_no_lineage.py")
+        hits = [f for f in kept if f.rule_id == "DIT010"]
+        assert len(hits) == 1
+        assert "migrates" in hits[0].message
+        assert "register_rebuild" in hits[0].message
+
+    def test_dit010_migration_with_lineage_clean(self):
+        kept, _ = lint_fixture("interproc/good_migration_lineage.py")
+        assert kept == []
+
     def test_dit011_dtype_contracts(self):
         kept, _ = lint_fixture("kernels/bad_dtypes.py")
         hits = [f for f in kept if f.rule_id == "DIT011"]

@@ -130,6 +130,72 @@ class TestEngineUpdates:
         )
         assert sorted((a, b) for a, b, _ in pairs) == want
 
+class TestExtendAfterRemove:
+    """The remove → extend / remove → re-append sequences on the *same id*
+    within one mutation generation (no flush in between) — pins the
+    suspected stale-batch_block hazard: a removed row must not resurface
+    through a cached trie block when its id comes back."""
+
+    def test_extend_after_remove_same_id_raises(self, cfg):
+        base = list(beijing_like(20, seed=11))
+        engine = DITAEngine(base, cfg)
+        tid = base[3].traj_id
+        assert engine.remove_trajectory(tid)
+        with pytest.raises(KeyError):
+            engine.extend_trajectory(tid, [(0.01, 0.01)])
+
+    def test_extend_after_remove_pending_id_raises(self, cfg):
+        engine = DITAEngine(list(beijing_like(20, seed=11)), cfg)
+        engine.append_trajectory(6_000, [(0.05, 0.05), (0.06, 0.06)])
+        assert engine.remove_trajectory(6_000)
+        with pytest.raises(KeyError):
+            engine.extend_trajectory(6_000, [(0.07, 0.07)])
+
+    def test_remove_then_reappend_same_id_same_generation(self, cfg):
+        base = list(beijing_like(20, seed=11))
+        engine = DITAEngine(base, cfg)
+        tid = base[3].traj_id
+        replacement = np.asarray([(0.12, 0.12), (0.13, 0.13), (0.14, 0.12)])
+        assert engine.remove_trajectory(tid)
+        engine.append_trajectory(tid, replacement)  # same id, no flush between
+        assert len(engine) == len(base)
+        # the query (forcing the flush) must see only the replacement
+        probe = Trajectory(-1, replacement)
+        assert engine.search_ids(probe, 1e-9) == [tid]
+        assert np.array_equal(engine.trajectory(tid).points, replacement)
+        current = [t for t in base if t.traj_id != tid] + [Trajectory(tid, replacement)]
+        q = base[0]
+        assert engine.search_ids(q, 0.003) == _brute(current, q, 0.003)
+
+    def test_remove_then_reinsert_same_id_immediate_path(self, cfg):
+        """The same hazard through the immediate insert/remove path: the
+        partition's cached batch block must rebuild, not serve the dead row."""
+        base = list(beijing_like(20, seed=11))
+        engine = DITAEngine(base, cfg)
+        tid = base[3].traj_id
+        replacement = np.asarray([(0.12, 0.12), (0.13, 0.13), (0.14, 0.12)])
+        assert engine.remove(tid)
+        engine.insert(Trajectory(tid, replacement))
+        probe = Trajectory(-1, replacement)
+        assert engine.search_ids(probe, 1e-9) == [tid]
+        old_probe = Trajectory(-2, base[3].points)
+        assert tid not in engine.search_ids(old_probe, 1e-9)
+
+    def test_extend_then_remove_drops_the_extension(self, cfg):
+        base = list(beijing_like(20, seed=11))
+        engine = DITAEngine(base, cfg)
+        tid = base[3].traj_id
+        engine.extend_trajectory(tid, [(0.19, 0.19)])
+        assert engine.remove_trajectory(tid)
+        assert len(engine) == len(base) - 1
+        with pytest.raises(KeyError):
+            engine.trajectory(tid)
+        q = base[0]
+        current = [t for t in base if t.traj_id != tid]
+        assert engine.search_ids(q, 0.003) == _brute(current, q, 0.003)
+
+
+class TestRandomUpdateSequences:
     @settings(
         max_examples=15,
         deadline=None,
