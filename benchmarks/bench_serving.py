@@ -1,0 +1,307 @@
+"""Serving-layer benchmarks: closed-loop speedup over serial admission,
+open-loop latency under load, and result-cache effectiveness.
+
+All three experiments run on the simulated clock (request costs are the
+cluster's unit-cost compute measure, scheduling is the deterministic
+event loop), so every number in the output JSON is identical across
+machines and the gates are exact, not statistical.
+
+* **closed-loop speedup**: 8 closed-loop tenants drive a mixed
+  search/kNN/mutation workload against two identically-built engines —
+  one served with ``serial=True`` (one request at a time, the admission
+  baseline), one with the cost-based scheduler placing requests on all
+  simulated workers.  The gate requires concurrent makespan to beat
+  serial by >= 2x.
+* **open-loop latency**: Poisson arrivals at a fraction of the measured
+  serial capacity (0.25x = underload, 2.0x = overload).  Records p50/p99
+  of completed-request latency, shed counts, and cache stats; the
+  overload point must shed (admission control engages) and the underload
+  p99 must stay within 3x of the committed baseline.
+* **cache effectiveness**: every search query is issued twice with no
+  interleaved mutation; the second copy must be answered from the
+  result cache (hit rate >= 0.9 over the duplicates).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke \
+        --check benchmarks/BENCH_serving.json                    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.config import DITAConfig
+from repro.core.engine import DITAEngine
+from repro.datagen import citywide_dataset
+from repro.obs import LatencyHistogram
+from repro.serving import Request, ServingLayer, closed_loop, open_loop
+
+SEED = 17
+N_TENANTS = 8
+#: the acceptance floor: concurrent serving must at least halve the
+#: makespan of serial admission at 8 closed-loop tenants
+GATE_SPEEDUP = 2.0
+GATE_REPEAT_HIT_RATE = 0.9
+#: underload p99 may drift at most this much vs the committed baseline
+GATE_P99_RATIO = 3.0
+
+CLOSED_MIX = (("search", 0.65), ("knn", 0.20), ("append", 0.10), ("remove", 0.05))
+OPEN_MIX = (("search", 0.80), ("knn", 0.20))
+
+
+def _cfg(**overrides) -> DITAConfig:
+    base = dict(
+        num_global_partitions=4,
+        trie_fanout=4,
+        num_pivots=3,
+        trie_leaf_capacity=4,
+        cell_size=0.01,
+        delta_max_rows=10_000,
+    )
+    base.update(overrides)
+    return DITAConfig(**base)
+
+
+def bench_closed_loop(n_data: int, n_per_tenant: int) -> Dict[str, object]:
+    """Serial vs concurrent makespan for the same closed-loop tenants."""
+    data = list(citywide_dataset(n_data, avg_len=16, seed=SEED, min_len=4, max_len=48))
+    tenants = [f"t{i}" for i in range(N_TENANTS)]
+
+    def run(serial: bool) -> Dict[str, object]:
+        cfg = _cfg()
+        engine = DITAEngine(data, cfg)
+        layer = ServingLayer(engine, config=cfg, serial=serial)
+        layer.run_closed_loop(
+            closed_loop(data, tenants, seed=SEED, mix=CLOSED_MIX),
+            n_per_tenant=n_per_tenant,
+        )
+        out = layer.summary()
+        out["makespan"] = layer.scheduler.makespan
+        engine.shutdown()
+        return out
+
+    serial = run(True)
+    concurrent = run(False)
+    speedup = (
+        serial["makespan"] / concurrent["makespan"]
+        if concurrent["makespan"] > 0
+        else float("inf")
+    )
+    print(
+        f"  closed-loop {N_TENANTS} tenants x {n_per_tenant}: "
+        f"serial {serial['makespan']:.4f} s   "
+        f"concurrent {concurrent['makespan']:.4f} s   {speedup:5.2f}x"
+    )
+    return {
+        "n_data": n_data,
+        "n_tenants": N_TENANTS,
+        "n_per_tenant": n_per_tenant,
+        "serial_makespan": repr(serial["makespan"]),
+        "concurrent_makespan": repr(concurrent["makespan"]),
+        "speedup": speedup,
+        "serial": serial,
+        "concurrent": concurrent,
+    }
+
+
+def _serial_capacity(data, n_probe: int) -> float:
+    """Requests/simulated-second of a serial server on the open mix —
+    the yardstick the open-loop offered rates are expressed against."""
+    cfg = _cfg()
+    engine = DITAEngine(data, cfg)
+    layer = ServingLayer(engine, config=cfg, serial=True)
+    outcomes = layer.run_closed_loop(
+        closed_loop(data, ["probe"], seed=SEED + 1, mix=OPEN_MIX),
+        n_per_tenant=n_probe,
+    )
+    ok = sum(1 for o in outcomes if o.status == "ok")
+    makespan = layer.scheduler.makespan
+    engine.shutdown()
+    return ok / makespan if makespan > 0 else float("inf")
+
+
+def bench_open_loop(n_data: int, n_per_tenant: int) -> List[Dict[str, object]]:
+    """p50/p99 latency and shed counts at fractions of serial capacity."""
+    data = list(citywide_dataset(n_data, avg_len=16, seed=SEED, min_len=4, max_len=48))
+    capacity = _serial_capacity(data, n_probe=max(8, n_per_tenant))
+    tenants = [f"t{i}" for i in range(N_TENANTS)]
+    # fixed per-tenant rate limit: twice the fair share of serial
+    # capacity — generous at underload, binding at overload
+    tenant_rate = 2.0 * capacity / N_TENANTS
+    rows: List[Dict[str, object]] = []
+    for load in (0.25, 4.0):
+        rate = load * capacity / N_TENANTS
+        cfg = _cfg(tenant_rate=tenant_rate, tenant_burst=4.0)
+        engine = DITAEngine(data, cfg)
+        layer = ServingLayer(engine, config=cfg)
+        reqs = open_loop(
+            data, tenants, n_per_tenant, rate_per_tenant=rate,
+            seed=SEED, mix=OPEN_MIX,
+        )
+        outcomes = layer.run(reqs)
+        hist = LatencyHistogram()
+        for o in outcomes:
+            if o.status == "ok":
+                hist.record(o.latency)
+        summary = layer.summary()
+        row = {
+            "load_fraction": load,
+            "rate_per_tenant": repr(rate),
+            "n_requests": len(reqs),
+            "completed": summary["completed"],
+            "shed": summary["shed"],
+            "p50_s": repr(hist.percentile(50)) if hist.count else None,
+            "p99_s": repr(hist.percentile(99)) if hist.count else None,
+            "cache": summary["cache"],
+        }
+        rows.append(row)
+        print(
+            f"  open-loop load {load:4.2f}x: {row['completed']}/{len(reqs)} ok, "
+            f"{row['shed']} shed, p50 {float(row['p50_s']):.5f} s, "
+            f"p99 {float(row['p99_s']):.5f} s"
+        )
+        engine.shutdown()
+    return rows
+
+
+def bench_repeat_cache(n_data: int, n_queries: int) -> Dict[str, object]:
+    """Issue every search twice with no interleaved mutation: the second
+    copy must come out of the result cache."""
+    data = list(citywide_dataset(n_data, avg_len=16, seed=SEED, min_len=4, max_len=48))
+    # admission is not under test here: no request may shed, or a cold
+    # cache entry would be an admission artifact
+    cfg = _cfg(tenant_rate=1e9, tenant_burst=1e9, serving_queue_depth=10_000)
+    engine = DITAEngine(data, cfg)
+    layer = ServingLayer(engine, config=cfg)
+    firsts = open_loop(
+        data, ["t0", "t1"], n_queries // 2, rate_per_tenant=100.0,
+        seed=SEED + 2, mix=(("search", 1.0),),
+    )
+    reqs = list(firsts)
+    for i, r in enumerate(firsts):
+        reqs.append(
+            Request(
+                req_id=len(firsts) + i, tenant=r.tenant, kind=r.kind,
+                payload=r.payload, arrival=r.arrival + 1_000.0,
+            )
+        )
+    outcomes = layer.run(reqs)
+    dupes = outcomes[len(firsts):]
+    hits = sum(1 for o in dupes if o.status == "ok" and o.cached)
+    hit_rate = hits / len(dupes) if dupes else 0.0
+    print(
+        f"  repeat-cache: {hits}/{len(dupes)} duplicate queries served "
+        f"from cache ({hit_rate:.0%})"
+    )
+    out = {
+        "n_data": n_data,
+        "n_duplicates": len(dupes),
+        "hits": hits,
+        "hit_rate": hit_rate,
+        "cache": layer.summary()["cache"],
+    }
+    engine.shutdown()
+    return out
+
+
+def check_gate(fresh: dict, committed_path: Path) -> int:
+    """CI gate: the 2x closed-loop floor (fresh and committed), shedding
+    at overload, duplicate-query hit rate, and no underload-p99 blowup
+    vs the committed baseline."""
+    failures: List[str] = []
+    for label, res in (("fresh", fresh), ("committed", json.loads(committed_path.read_text()))):
+        sp = res["closed_loop"]["speedup"]
+        if sp < GATE_SPEEDUP:
+            failures.append(
+                f"{label} closed-loop speedup {sp:.2f}x is below the "
+                f"{GATE_SPEEDUP:.1f}x floor at {N_TENANTS} tenants"
+            )
+        rep = res["repeat_cache"]
+        if rep["hit_rate"] < GATE_REPEAT_HIT_RATE:
+            failures.append(
+                f"{label} duplicate-query cache hit rate {rep['hit_rate']:.2f} "
+                f"is below {GATE_REPEAT_HIT_RATE}"
+            )
+        over = [r for r in res["open_loop"] if r["load_fraction"] >= 1.0]
+        if over and all(r["shed"] == 0 for r in over):
+            failures.append(
+                f"{label} overload point shed nothing — admission control "
+                "never engaged"
+            )
+    committed = json.loads(committed_path.read_text())
+    com_by_load = {r["load_fraction"]: r for r in committed["open_loop"]}
+    for r in fresh["open_loop"]:
+        com = com_by_load.get(r["load_fraction"])
+        if com is None or r["load_fraction"] >= 1.0:
+            continue  # overload p99 is governed by shedding, not a ceiling
+        if r["p99_s"] is not None and com["p99_s"] is not None:
+            if float(r["p99_s"]) > float(com["p99_s"]) * GATE_P99_RATIO:
+                failures.append(
+                    f"underload p99 {float(r['p99_s']):.5f} s regressed "
+                    f">{GATE_P99_RATIO:.0f}x vs committed "
+                    f"{float(com['p99_s']):.5f} s at load {r['load_fraction']}"
+                )
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}")
+        return 1
+    print(
+        f"check OK vs {committed_path.name}: "
+        f"speedup {fresh['closed_loop']['speedup']:.2f}x, "
+        f"repeat hit rate {fresh['repeat_cache']['hit_rate']:.0%}"
+    )
+    return 0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="CI-sized run")
+    ap.add_argument("--out", type=Path, default=None, help="output JSON path")
+    ap.add_argument(
+        "--check", type=Path, default=None,
+        help="committed BENCH_serving.json to gate against (exit 1 below "
+             "the 2x closed-loop floor, on a missing overload shed, a cold "
+             "duplicate cache, or an underload p99 blowup)",
+    )
+    args = ap.parse_args()
+    n_data = 200 if args.smoke else 400
+    n_per_tenant = 5 if args.smoke else 12
+    out_path = args.out or Path(__file__).resolve().parent / "BENCH_serving.json"
+
+    print("== closed-loop speedup over serial admission (simulated makespan) ==")
+    closed = bench_closed_loop(n_data, n_per_tenant)
+    print("== open-loop latency vs offered load (simulated clock) ==")
+    open_rows = bench_open_loop(n_data, n_per_tenant)
+    print("== result-cache effectiveness on duplicate queries ==")
+    repeat = bench_repeat_cache(n_data, n_queries=4 * n_per_tenant)
+
+    result = {
+        "meta": {
+            "smoke": args.smoke,
+            "n_data": n_data,
+            "n_tenants": N_TENANTS,
+            "n_per_tenant": n_per_tenant,
+            "seed": SEED,
+            "timer": "simulated clock throughout; deterministic across machines",
+        },
+        "closed_loop": closed,
+        "open_loop": open_rows,
+        "repeat_cache": repeat,
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+
+    if args.check is not None:
+        sys.exit(check_gate(result, args.check))
+
+
+if __name__ == "__main__":
+    main()

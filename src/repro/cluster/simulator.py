@@ -540,6 +540,44 @@ class Cluster:
         if self.tracer is not None:
             self._trace_compute(tag or "task", "task", worker_id, interval, seconds)
 
+    def charge_query(
+        self,
+        worker_id: int,
+        seconds: float,
+        tag: str = "serve.query",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> float:
+        """Charge a *scheduled query* to a worker's simulated clock and
+        return the charge's end time on that worker.
+
+        This is the serving scheduler's accounting primitive
+        (:mod:`repro.serving.scheduler`): the placement decision picked
+        ``worker_id``, and the query's whole simulated cost lands there so
+        the serving makespan (max worker clock) reflects the placement
+        quality.  Like :meth:`charge_compute_worker` it bypasses fault
+        injection (the query machinery does its own retries), but it is a
+        distinct, greppable site: ditalint's DIT008 requires every caller
+        to also reach a metrics/tracer write, so scheduler decisions can
+        never silently stop being observable.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"no worker {worker_id}")
+        interval = self.workers[worker_id].charge_compute(seconds)
+        self._report.total_compute_s += seconds
+        self._report.tasks += 1
+        if self.tracer is not None:
+            self._trace_compute(tag, "serve", worker_id, interval, seconds, args)
+        return interval[2]
+
+    def worker_clock(self, worker_id: int) -> float:
+        """The worker's current busy time (its least-loaded core's clock is
+        ``min``; scheduling uses the earliest-availability view)."""
+        if not 0 <= worker_id < self.n_workers:
+            raise ValueError(f"no worker {worker_id}")
+        return min(self.workers[worker_id].core_clocks)
+
     def ship(self, src_partition: int, dst_partition: int, nbytes: int) -> float:
         """Account a data transfer between two partitions' workers.
 

@@ -98,6 +98,21 @@ class DITAConfig:
     #: this multiple of the mean partition size; see
     #: ``DITAEngine.maybe_repartition``.
     repartition_skew_ratio: float = 4.0
+    #: serving layer (:mod:`repro.serving`): maximum requests admitted but
+    #: not yet completed; arrivals beyond it are shed with a typed
+    #: :class:`~repro.serving.admission.QueueFullError`.
+    max_inflight: int = 64
+    #: serving layer: per-tenant token-bucket refill rate, requests per
+    #: simulated second (the burst capacity is ``tenant_burst``).
+    tenant_rate: float = 32.0
+    #: serving layer: per-tenant token-bucket burst capacity.
+    tenant_burst: float = 8.0
+    #: serving layer: per-tenant queued-request ceiling; arrivals beyond it
+    #: are shed even when the global ``max_inflight`` still has room.
+    serving_queue_depth: int = 32
+    #: serving layer: result-cache capacity in (estimated) bytes; 0
+    #: disables the result cache.
+    result_cache_bytes: int = 4 * 1024 * 1024
     #: enable the MBR coverage filter (Lemma 5.4) during verification.
     use_mbr_coverage: bool = True
     #: enable the cell-based lower bound (Lemma 5.6) during verification.
@@ -148,6 +163,16 @@ class DITAConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.num_processes < 0:
             raise ValueError("num_processes must be >= 0")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.tenant_rate <= 0:
+            raise ValueError("tenant_rate must be positive")
+        if self.tenant_burst < 1:
+            raise ValueError("tenant_burst must be >= 1")
+        if self.serving_queue_depth < 1:
+            raise ValueError("serving_queue_depth must be >= 1")
+        if self.result_cache_bytes < 0:
+            raise ValueError("result_cache_bytes must be >= 0")
 
     @property
     def cost_lambda(self) -> float:

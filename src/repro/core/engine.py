@@ -344,6 +344,14 @@ class DITAEngine:
         self._stream_ids: Optional[Dict[int, int]] = None
         self._rows_since_merge = 0
         self._generations: Optional[GenerationalStore] = None
+        # mutation-generation state for external caches (repro.serving):
+        # the global counter bumps on every logical mutation — including
+        # *buffered* delta writes, before any flush — and the per-partition
+        # counters bump only for the partitions a mutation touches, so a
+        # cache can invalidate exactly the affected entries
+        self._generation = 0
+        self._part_versions: Dict[int, int] = {}
+        self._in_flush = False
 
     # ------------------------------------------------------------------ #
     # partition access (lazy for store-backed engines)
@@ -483,6 +491,40 @@ class DITAEngine:
         """Buffered write operations not yet folded into the index."""
         return sum(d.n_pending for d in self._deltas.values())
 
+    @property
+    def generation(self) -> int:
+        """The engine's mutation-generation counter: a monotonic integer
+        that advances on *every* logical mutation — buffered
+        ``append_trajectory``/``extend_trajectory``/``remove_trajectory``
+        writes (before any flush), legacy ``insert``/``remove``, delta
+        flushes, :meth:`merge` and :meth:`repartition`.  External caches
+        (:mod:`repro.serving`) key entries on it: an entry stamped at an
+        older generation can never be served against newer data.
+        """
+        return self._generation
+
+    def partition_version(self, pid: int) -> int:
+        """The partition-granular mutation counter: advances only when a
+        mutation touches partition ``pid`` (a buffered write routed to it,
+        a flush rebuilding it, a merge or repartition replacing it), so a
+        per-partition cache entry elsewhere stays valid across mutations
+        confined to other partitions."""
+        return self._part_versions.get(pid, 0)
+
+    def _bump_generation(self, pids: Iterable[int]) -> None:
+        self._generation += 1
+        for pid in pids:
+            self._part_versions[pid] = self._part_versions.get(pid, 0) + 1
+
+    def sync_for_read(self) -> int:
+        """Fold any pending deltas (the flush-on-read every query entry
+        performs) and return the resulting :attr:`generation` — the
+        snapshot stamp a caller should key caches on.  Reads taken after
+        this call and before the next mutation see exactly this
+        generation's data."""
+        self._sync_streams()
+        return self._generation
+
     def trajectory(self, traj_id: int) -> Trajectory:
         """Materialize one trajectory by id (KeyError when absent) — the
         boundary accessor result rendering uses; hot paths never call it."""
@@ -529,6 +571,7 @@ class DITAEngine:
         pid = meta.partition_id
         # the trie appends to its (shared) partition dataset itself
         self.trie(pid).insert(traj)
+        self._bump_generation([pid])
         self._refresh_global_index()
 
     def remove(self, traj_id: int) -> bool:
@@ -543,6 +586,7 @@ class DITAEngine:
                 del self.partitions[pid]
                 del self.tries[pid]
                 self._searchers.pop(pid, None)
+            self._bump_generation([pid])
             self._refresh_global_index()
             return True
         return False
@@ -673,6 +717,10 @@ class DITAEngine:
         return True
 
     def _note_write(self, pid: int) -> None:
+        # the *buffered* write is already a logical mutation: caches keyed
+        # on the generation must miss even before the flush-on-read folds
+        # the delta in (the PR 9 stale-state hazard)
+        self._bump_generation([pid])
         self._rows_since_merge += 1
         if self._deltas[pid].n_pending >= self.config.delta_max_rows:
             self.flush_deltas([pid])
@@ -685,7 +733,18 @@ class DITAEngine:
         freshly bulk-built trie — the canonical layout, so the resulting
         index is structurally identical to any bulk build over the same
         logical rows.  Returns the number of operations applied.
+
+        Idempotent under reentrancy: a flush entered while another flush
+        is already running (two interleaved reads on one engine, or a
+        read issued from inside the flush machinery) is a no-op, so
+        deltas can never be double-applied.  Application is staged — all
+        new datasets and tries are built before the engine adopts any of
+        them — so no caller can ever observe a half-compacted layout: a
+        failure mid-build restores the popped deltas and leaves every
+        partition, trie and the global index exactly as before.
         """
+        if self._in_flush:
+            return 0
         if pids is None:
             items = [(pid, self._deltas.pop(pid)) for pid in sorted(self._deltas)]
         else:
@@ -695,31 +754,49 @@ class DITAEngine:
         items = [(pid, d) for pid, d in items if d]
         if not items:
             return 0
+        self._in_flush = True
         applied = 0
-        for pid, delta in items:
-            applied += delta.n_pending
-            base = None
-            if pid in self.partitions or pid in self._unloaded:
-                base = self.partition(pid)
-            part = delta.apply(base)
-            if len(part) == 0:
+        staged: List[Tuple[int, Optional[ColumnarDataset], Optional[TrieIndex]]] = []
+        try:
+            for pid, delta in items:
+                applied += delta.n_pending
+                base = None
+                if pid in self.partitions or pid in self._unloaded:
+                    base = self.partition(pid)
+                part = delta.apply(base)
+                if len(part) == 0:
+                    staged.append((pid, None, None))
+                    continue
+                trie = TrieIndex(part, self.config)
+                trie.batch_block()
+                staged.append((pid, part, trie))
+        except BaseException:
+            # nothing was adopted; put every popped delta back so a retry
+            # (or the next read) sees the exact pre-flush pending state
+            for pid, delta in items:
+                self._deltas[pid] = delta
+            raise
+        finally:
+            self._in_flush = False
+        for pid, part, trie in staged:
+            if part is None:
                 self.partitions.pop(pid, None)
                 self.tries.pop(pid, None)
                 self._searchers.pop(pid, None)
                 self._unloaded.discard(pid)
-                continue
-            self.partitions[pid] = part
-            trie = TrieIndex(part, self.config)
-            trie.batch_block()
-            self.tries[pid] = trie
-            self._unloaded.discard(pid)
+            else:
+                self.partitions[pid] = part
+                self.tries[pid] = trie
+                self._unloaded.discard(pid)
+            self._part_versions[pid] = self._part_versions.get(pid, 0) + 1
         self._refresh_global_index()
         return applied
 
     def _sync_streams(self) -> None:
         """Reads call this first: fold any pending deltas so the query
-        plan runs over base ∪ delta."""
-        if self._deltas:
+        plan runs over base ∪ delta.  Reentrant calls (a read issued
+        while a flush is in flight) are no-ops — see :meth:`flush_deltas`."""
+        if self._deltas and not self._in_flush:
             self.flush_deltas()
 
     # -- background merge ---------------------------------------------- #
@@ -781,6 +858,9 @@ class DITAEngine:
             raise
         store = gens.current_store()
         self._store = store
+        # the compaction re-lays every partition's rows: caches holding
+        # row-addressed state for any partition are stale now
+        self._bump_generation(set(self.partition_pids()) | set(store.metas))
         self.partitions = {}
         self.tries = {}
         self._unloaded = set(store.metas)
@@ -888,6 +968,8 @@ class DITAEngine:
                 by_src[src] = by_src.get(src, 0) + nbytes
             for src in sorted(by_src):
                 self.cluster.ship(src, offset + npid, by_src[src])
+        # adoption: every old and new partition's row layout changed
+        self._bump_generation(set(old_pids) | set(new_parts))
         self.partitions = new_parts
         self.tries = staged
         self._store = None

@@ -161,9 +161,31 @@ def _seed_tau(engine: "DITAEngine", query: Trajectory, k: int) -> Tuple[float, f
 
 def knn_search(engine: "DITAEngine", query: Trajectory, k: int) -> List[Neighbour]:
     """The ``k`` trajectories nearest to ``query`` under the engine's
-    distance, sorted by (distance, id).  Exact."""
-    if k <= 0:
-        raise ValueError("k must be positive")
+    distance, sorted by (distance, id).  Exact.
+
+    Boundary semantics (the serving-layer contract):
+
+    * ``k == 0`` returns ``[]`` (a negative ``k`` raises ``ValueError``);
+    * ``k >= len(engine)`` returns the whole dataset, ranked;
+    * ties — including many trajectories exactly at the k-th distance —
+      are broken by ``(distance, trajectory id)``, so the answer is a
+      deterministic function of the logical dataset, never of sweep
+      internals (tau schedule, partition order, adapter batching).
+
+    Pending streamed writes are folded in first (the same flush-on-read
+    every other query entry point performs), so the answer reflects every
+    buffered ``append_trajectory``/``extend_trajectory``/
+    ``remove_trajectory`` — not the stale base image.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    # fold pending deltas BEFORE seeding: _seed_tau and _full_pool read
+    # partition blocks directly, and without this sync a buffered append
+    # was invisible to them (undercounting results when k exceeds the
+    # stale base size) while a buffered remove could poison tau_hi
+    engine._sync_streams()
+    if k == 0:
+        return []
     with engine._job("knn", k=k):
         result, rounds, fallback = _knn_search_inner(engine, query, k)
     if engine.metrics is not None:
@@ -222,9 +244,18 @@ def _knn_search_inner(
 def knn_join(left_engine, right_engine, k: int) -> List[Tuple[int, int, float]]:
     """For every trajectory of ``right_engine``'s dataset, its ``k`` nearest
     neighbours in ``left_engine``.  Returns (left id, right id, distance)
-    triples sorted by (right id, distance, left id)."""
-    if k <= 0:
-        raise ValueError("k must be positive")
+    triples sorted by (right id, distance, left id).
+
+    ``k == 0`` returns ``[]``; a negative ``k`` raises ``ValueError``.
+    Both sides fold their pending streamed writes in first (the right
+    side's partitions are iterated directly below, and the left side is
+    synced by the per-query :func:`knn_search` calls).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return []
+    right_engine._sync_streams()
     out: List[Tuple[int, int, float]] = []
     for pid in right_engine.partition_pids():
         part = right_engine.partition(pid)

@@ -41,6 +41,10 @@ _ENTROPY_CALLS = {
 }
 
 _CHARGE_ATTRS = frozenset({"charge_compute", "charge_network"})
+#: the serving scheduler's charge primitive (DIT008 only): placement
+#: decisions are debugged through metrics, so a charge_query site that
+#: cannot reach a metrics write is an invisible scheduling decision
+_SCHED_CHARGE_ATTRS = frozenset({"charge_query"})
 _TRACE_SINK_ATTRS = frozenset(
     {"record", "_trace_compute", "_trace_network", "absorb", "observe", "counter"}
 )
@@ -166,19 +170,23 @@ class AccountingCoverageRule(ProjectRule):
         "function and reports sites from which no tracer record "
         "(Tracer.record, _trace_compute/_trace_network) or metrics write "
         "(absorb/observe/counter) is reachable - a charge the EXPLAIN "
-        "ANALYZE tables would silently omit."
+        "ANALYZE tables would silently omit. The serving scheduler's "
+        "charge_query sites are held to the same bar: a scheduler charge "
+        "that no metrics write can observe is a placement decision the "
+        "serving report silently drops."
     )
 
     def check_project(self, project: Project) -> Iterator[Finding]:
         reach = Reachability(project)
+        all_charge_attrs = _CHARGE_ATTRS | _SCHED_CHARGE_ATTRS
         for fn in project.sorted_functions():
-            if not (fn.attr_calls & _CHARGE_ATTRS):
+            if not (fn.attr_calls & all_charge_attrs):
                 continue
             if reach.reaches_attr(fn.qualname, _TRACE_SINK_ATTRS):
                 continue
             for call in _walk_own_calls(fn.node):
                 func = call.func
-                if not isinstance(func, ast.Attribute) or func.attr not in _CHARGE_ATTRS:
+                if not isinstance(func, ast.Attribute) or func.attr not in all_charge_attrs:
                     continue
                 yield self.project_finding(
                     fn.path,

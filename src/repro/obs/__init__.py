@@ -10,10 +10,13 @@ from .explain import (
     stage_rows,
     worker_span_seconds,
 )
+from .latency import LatencyHistogram, LatencyRecorder
 from .registry import MetricsRegistry
 from .trace import Span, Tracer
 
 __all__ = [
+    "LatencyHistogram",
+    "LatencyRecorder",
     "MetricsRegistry",
     "Span",
     "Tracer",

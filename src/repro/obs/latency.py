@@ -1,0 +1,105 @@
+"""Latency histograms with deterministic percentiles.
+
+:class:`MetricsRegistry` summarises ``observe()`` streams as
+count/sum/min/max — enough for cost accounting, useless for tail latency.
+The serving layer (:mod:`repro.serving`) needs p50/p99 per tenant, so
+:class:`LatencyHistogram` keeps every sample (the simulator's request
+counts are small) and computes exact nearest-rank percentiles over the
+sorted sample set.  Two identical runs therefore serialize to
+byte-identical summaries — same determinism contract as the registry.
+
+A :class:`LatencyRecorder` is a keyed family of histograms ("one per
+tenant", "one per request kind") with a stable snapshot order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+class LatencyHistogram:
+    """Exact-sample latency distribution with nearest-rank percentiles."""
+
+    __slots__ = ("_samples", "_sorted", "_total")
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted = True
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency must be non-negative")
+        if self._samples and seconds < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(float(seconds))
+        # accumulated at record time: percentile() re-sorts the sample
+        # list in place, and summing it afterwards would change the
+        # addition order — summary() must be idempotent to the ULP
+        self._total += float(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile: the smallest sample with at least
+        ``p`` percent of the mass at or below it; 0.0 when empty."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(1, -(-int(p * len(self._samples)) // 100))  # ceil(p*n/100)
+        rank = min(rank, len(self._samples))
+        return self._samples[rank - 1]
+
+    def summary(self, percentiles: Sequence[float] = (50, 90, 99)) -> Dict[str, object]:
+        """JSON-serializable snapshot (floats repr'd, stable key order)."""
+        out: Dict[str, object] = {
+            "count": self.count,
+            "mean": repr(self.mean),
+        }
+        for p in percentiles:
+            label = f"p{p:g}"
+            out[label] = repr(self.percentile(p))
+        if self._samples:
+            out["max"] = repr(max(self._samples))
+        else:
+            out["max"] = repr(0.0)
+        return out
+
+
+class LatencyRecorder:
+    """A keyed family of :class:`LatencyHistogram` (e.g. one per tenant)."""
+
+    def __init__(self) -> None:
+        self._hists: Dict[str, LatencyHistogram] = {}
+
+    def record(self, key: str, seconds: float) -> None:
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = LatencyHistogram()
+        hist.record(seconds)
+
+    def histogram(self, key: str) -> LatencyHistogram:
+        """The histogram for ``key`` (empty if never recorded)."""
+        return self._hists.get(key, LatencyHistogram())
+
+    def keys(self) -> List[str]:
+        return sorted(self._hists)
+
+    def summary(
+        self, percentiles: Sequence[float] = (50, 90, 99)
+    ) -> Dict[str, Dict[str, object]]:
+        return {k: self._hists[k].summary(percentiles) for k in self.keys()}

@@ -1,0 +1,43 @@
+"""repro.serving — deterministic multi-tenant serving over the engine.
+
+Admission control (token buckets + shedding), weighted fair queuing,
+cost-based scheduling fed by EXPLAIN ANALYZE spans, and mutation-safe
+result/candidate caches keyed on the engine's generation counter.
+See docs/SERVING.md.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    QueueFullError,
+    RateLimitedError,
+    TokenBucket,
+)
+from .cache import CandidateCache, ResultCache, footprint_valid, snapshot_footprint
+from .scheduler import CostModel, CostScheduler, FairQueue
+from .server import MUTATION_KINDS, QUERY_KINDS, Outcome, Request, ServingLayer, canonical_result
+from .workload import RequestSampler, closed_loop, open_loop
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "CandidateCache",
+    "CostModel",
+    "CostScheduler",
+    "FairQueue",
+    "MUTATION_KINDS",
+    "Outcome",
+    "QUERY_KINDS",
+    "QueueFullError",
+    "RateLimitedError",
+    "Request",
+    "RequestSampler",
+    "ResultCache",
+    "ServingLayer",
+    "TokenBucket",
+    "canonical_result",
+    "closed_loop",
+    "footprint_valid",
+    "open_loop",
+    "snapshot_footprint",
+]

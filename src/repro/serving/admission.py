@@ -1,0 +1,136 @@
+"""Admission control: per-tenant token buckets and queue-depth shedding.
+
+The serving layer sheds load *before* it costs anything: an arrival is
+either admitted (and will definitely execute) or rejected with a typed
+:class:`AdmissionError` carrying the tenant and the reason, so callers
+can distinguish "you are over your rate" (:class:`RateLimitedError`)
+from "the system is saturated" (:class:`QueueFullError`) — the same
+split LocationSpark's scheduler makes between per-query throttling and
+global backpressure.
+
+Everything runs on the serving layer's simulated clock; token refill is
+a pure function of elapsed simulated time, so admission decisions are
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.config import DITAConfig
+
+
+class AdmissionError(Exception):
+    """An arrival the serving layer refused to admit."""
+
+    def __init__(self, tenant: str, reason: str) -> None:
+        super().__init__(f"tenant {tenant!r}: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+class RateLimitedError(AdmissionError):
+    """The tenant's token bucket is empty (over ``tenant_rate``)."""
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(tenant, "rate limited")
+
+
+class QueueFullError(AdmissionError):
+    """A queue-depth bound was hit: the global in-flight ceiling
+    (``max_inflight``) or the tenant's queued-request ceiling
+    (``serving_queue_depth``)."""
+
+    def __init__(self, tenant: str, which: str) -> None:
+        super().__init__(tenant, f"queue full ({which})")
+        self.which = which
+
+
+@dataclass
+class TokenBucket:
+    """The classic token bucket on a simulated clock.
+
+    ``tokens`` refills at ``rate`` per simulated second up to ``burst``;
+    an arrival takes one whole token or is refused.  Buckets start full,
+    so a fresh tenant can burst immediately.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(default=-1.0)
+    last_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.tokens < 0:
+            self.tokens = self.burst
+
+    def _refill(self, now: float) -> None:
+        if now > self.last_s:
+            self.tokens = min(self.burst, self.tokens + (now - self.last_s) * self.rate)
+            self.last_s = now
+
+    def try_take(self, now: float) -> bool:
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """The serving layer's front door.
+
+    Tracks two populations: *in-flight* requests (admitted, not yet
+    completed — bounded globally by ``max_inflight``) and *queued*
+    requests per tenant (admitted, not yet dispatched — bounded per
+    tenant by ``serving_queue_depth``).  :meth:`admit` raises the typed
+    error for the first bound an arrival violates, checking cheapest
+    first (rate, then tenant queue, then global); an admitted request
+    MUST later flow through :meth:`note_dispatch` and :meth:`release`.
+    """
+
+    def __init__(self, config: DITAConfig) -> None:
+        self.config = config
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._queued: Dict[str, int] = {}
+        self.inflight = 0
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        b = self._buckets.get(tenant)
+        if b is None:
+            b = self._buckets[tenant] = TokenBucket(
+                rate=self.config.tenant_rate, burst=self.config.tenant_burst
+            )
+        return b
+
+    def queued(self, tenant: str) -> int:
+        return self._queued.get(tenant, 0)
+
+    def admit(self, tenant: str, now: float) -> None:
+        """Admit one arrival at simulated time ``now`` or raise."""
+        if not self.bucket(tenant).try_take(now):
+            raise RateLimitedError(tenant)
+        if self.queued(tenant) >= self.config.serving_queue_depth:
+            raise QueueFullError(tenant, "tenant queue")
+        if self.inflight >= self.config.max_inflight:
+            raise QueueFullError(tenant, "max_inflight")
+        self._queued[tenant] = self.queued(tenant) + 1
+        self.inflight += 1
+
+    def note_dispatch(self, tenant: str) -> None:
+        """The request left the queue for a worker."""
+        n = self.queued(tenant)
+        if n <= 0:
+            raise RuntimeError(f"dispatch without admit for tenant {tenant!r}")
+        self._queued[tenant] = n - 1
+
+    def release(self, tenant: str) -> None:
+        """The request completed (or errored); frees its in-flight slot."""
+        if self.inflight <= 0:
+            raise RuntimeError("release without admit")
+        self.inflight -= 1

@@ -102,11 +102,32 @@ class ExplainAnalyzeResult:
 
 
 class DITASession:
-    """SQL and DataFrame entry point."""
+    """SQL and DataFrame entry point.
 
-    def __init__(self, config: Optional[DITAConfig] = None) -> None:
+    Sessions may *share* a catalog: the serving layer hands every tenant
+    its own session (per-tenant identity, per-tenant metrics attribution)
+    over one set of registered tables and built engines, so tenant B's
+    queries reuse the indexes tenant A's CREATE INDEX built.  Pass
+    ``catalog=`` to join an existing session's catalog, or call
+    :meth:`for_tenant` for the canonical per-tenant clone.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DITAConfig] = None,
+        catalog: Optional[Catalog] = None,
+        tenant: Optional[str] = None,
+    ) -> None:
         self.config = config or DITAConfig()
-        self.catalog = Catalog(self.config)
+        self.catalog = catalog if catalog is not None else Catalog(self.config)
+        #: tenant identity for multi-tenant serving (None for a private
+        #: single-user session); purely attribution — execution is shared
+        self.tenant = tenant
+
+    def for_tenant(self, tenant: str) -> "DITASession":
+        """A tenant-scoped session over this session's catalog: same
+        tables, same engines, same config — distinct identity."""
+        return DITASession(self.config, catalog=self.catalog, tenant=tenant)
 
     # ------------------------------------------------------------------ #
     # registration

@@ -8,3 +8,7 @@ def _cost(n):
 
 def charge_quietly(worker, n):
     worker.charge_compute(_cost(n))
+
+
+def schedule_quietly(cluster, wid, n):
+    cluster.charge_query(wid, _cost(n))

@@ -19,3 +19,8 @@ def charge_via_helper(worker, tracer, seconds):
 def charge_metrics(worker, metrics, seconds):
     worker.charge_network(seconds)
     metrics.observe("net.seconds", seconds)
+
+
+def schedule_counted(cluster, metrics, wid, seconds):
+    cluster.charge_query(wid, seconds)
+    metrics.counter("serve.scheduler.charged_s", seconds)

@@ -54,7 +54,36 @@ class TestKNNSearch:
     def test_invalid_k(self, engine, city):
         q = sample_queries(city, 1, seed=2)[0]
         with pytest.raises(ValueError):
-            knn_search(engine, q, 0)
+            knn_search(engine, q, -1)
+
+    def test_k_zero(self, engine, city):
+        """k == 0 is a valid (empty) request at the serving boundary."""
+        q = sample_queries(city, 1, seed=2)[0]
+        assert knn_search(engine, q, 0) == []
+
+    def test_sees_buffered_stream_writes(self, city):
+        """Regression: knn_search must flush pending deltas before seeding.
+
+        With a tiny base and k larger than the *base* (but not the logical
+        dataset), the stale pre-fix path under-returned: the seed/full pool
+        only saw the base rows.
+        """
+        cfg = DITAConfig(
+            num_global_partitions=2,
+            trie_fanout=4,
+            num_pivots=3,
+            trie_leaf_capacity=4,
+            delta_max_rows=10_000,  # keep writes buffered until flush-on-read
+        )
+        base = list(city)[:6]
+        eng = DITAEngine(base, cfg)
+        for t in list(city)[6:20]:
+            eng.append_trajectory(t.traj_id, t.points)
+        q = sample_queries(city, 1, seed=3)[0]
+        got = knn_search(eng, q, 12)
+        assert len(got) == 12
+        want = brute_force_knn(list(city)[:20], q, 12)
+        assert [t.traj_id for t, _ in got] == [w[0] for w in want]
 
     def test_sorted_output(self, engine, city):
         q = sample_queries(city, 1, seed=13, perturb=0.0005)[0]
@@ -84,7 +113,10 @@ class TestKNNJoin:
 
     def test_invalid_k(self, engine):
         with pytest.raises(ValueError):
-            knn_join(engine, engine, 0)
+            knn_join(engine, engine, -3)
+
+    def test_k_zero(self, engine):
+        assert knn_join(engine, engine, 0) == []
 
 
 class TestTieAtThreshold:

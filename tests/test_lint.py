@@ -270,8 +270,10 @@ class TestInterprocFixtures:
     def test_dit008_untraced_charge(self):
         kept, _ = lint_fixture("interproc/bad_untraced_charge.py")
         hits = [f for f in kept if f.rule_id == "DIT008"]
-        assert len(hits) == 1
-        assert "charge_compute" in hits[0].message
+        assert len(hits) == 2
+        assert any("charge_compute" in f.message for f in hits)
+        # serving-scheduler charge sites are held to the same bar
+        assert any("charge_query" in f.message for f in hits)
 
     def test_dit008_clean(self):
         kept, _ = lint_fixture("interproc/good_traced_charge.py")

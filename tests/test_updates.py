@@ -221,3 +221,161 @@ class TestRandomUpdateSequences:
                 del current[victim]
         q = list(current.values())[0]
         assert engine.search_ids(q, 0.01) == _brute(current.values(), q, 0.01)
+
+
+class TestGenerationCounter:
+    """The mutation-generation contract external caches key on.
+
+    Regression for the PR 9 stale-state hazard: a *buffered* delta write
+    must advance the generation immediately — before any flush-on-read —
+    or a cache keyed on it would serve pre-write results against
+    post-write data.
+    """
+
+    def _engine(self, n=20, seed=21, **kw):
+        cfg = DITAConfig(
+            num_global_partitions=2,
+            trie_fanout=3,
+            num_pivots=3,
+            trie_leaf_capacity=3,
+            delta_max_rows=10_000,
+            **kw,
+        )
+        base = list(beijing_like(n, seed=seed))
+        return DITAEngine(base, cfg), base
+
+    def test_buffered_writes_bump_before_flush(self):
+        engine, base = self._engine()
+        g0 = engine.generation
+        engine.append_trajectory(9001, [(0.1, 0.1), (0.11, 0.11)])
+        g1 = engine.generation
+        assert g1 > g0 and engine.n_pending > 0  # bumped while still buffered
+        engine.extend_trajectory(9001, [(0.12, 0.12)])
+        g2 = engine.generation
+        assert g2 > g1 and engine.n_pending > 0
+        assert engine.remove_trajectory(base[0].traj_id)
+        assert engine.generation > g2
+
+    def test_partition_versions_are_partition_exact(self):
+        engine, base = self._engine()
+        before = {p: engine.partition_version(p) for p in engine.partition_pids()}
+        pid = engine.append_trajectory(9002, [(0.05, 0.05)])
+        after = {p: engine.partition_version(p) for p in engine.partition_pids()}
+        assert after[pid] == before[pid] + 1
+        for p in engine.partition_pids():
+            if p != pid:
+                assert after[p] == before[p]
+
+    def test_legacy_insert_remove_bump(self):
+        engine, base = self._engine()
+        g0 = engine.generation
+        engine.insert(Trajectory(9003, [(0.02, 0.02), (0.03, 0.03)]))
+        assert engine.generation > g0
+        g1 = engine.generation
+        assert engine.remove(9003)
+        assert engine.generation > g1
+
+    def test_repartition_bumps(self):
+        engine, _ = self._engine(n=30)
+        # skew one partition with buffered appends, then force repartition
+        for i in range(40):
+            engine.append_trajectory(20_000 + i, [(0.001 * i, 0.001), (0.002, 0.002)])
+        engine.flush_deltas()
+        g0 = engine.generation
+        if engine.repartition():
+            assert engine.generation > g0
+
+    def test_merge_bumps(self, tmp_path):
+        engine, _ = self._engine()
+        engine.attach_generations(tmp_path / "gens")
+        engine.append_trajectory(9004, [(0.01, 0.01)])
+        engine.flush_deltas()
+        g0 = engine.generation
+        engine.merge()
+        assert engine.generation > g0
+
+    def test_sync_for_read_folds_and_stamps(self):
+        engine, base = self._engine()
+        engine.append_trajectory(9005, [(0.07, 0.07)])
+        g = engine.sync_for_read()
+        assert engine.n_pending == 0
+        assert g == engine.generation  # no hidden bump after the fold
+
+
+class TestFlushReentrancy:
+    """`_sync_streams` must be idempotent under interleaved reads."""
+
+    def _engine(self):
+        cfg = DITAConfig(
+            num_global_partitions=2,
+            trie_fanout=3,
+            num_pivots=3,
+            trie_leaf_capacity=3,
+            delta_max_rows=10_000,
+        )
+        base = list(beijing_like(18, seed=31))
+        return DITAEngine(base, cfg), base
+
+    def test_reentrant_sync_is_noop(self, monkeypatch):
+        """A read issued from inside the flush machinery (the serving
+        layer's interleavings) must not double-flush or observe a
+        half-compacted partition set."""
+        from repro.core import engine as engine_mod
+
+        engine, base = self._engine()
+        engine.append_trajectory(9100, base[0].points + 0.0001)
+        engine.append_trajectory(9101, base[1].points + 0.0001)
+
+        real_trie = engine_mod.TrieIndex
+        reentered = []
+
+        class ReentrantTrie(real_trie):
+            def __init__(self, part, config, *a, **kw):
+                # simulate an interleaved read mid-flush: must be a no-op
+                pending_before = engine.n_pending
+                engine._sync_streams()
+                reentered.append(engine.n_pending == pending_before)
+                super().__init__(part, config, *a, **kw)
+
+        monkeypatch.setattr(engine_mod, "TrieIndex", ReentrantTrie)
+        applied = engine.flush_deltas()
+        monkeypatch.undo()
+        assert applied > 0
+        assert reentered and all(reentered)
+        assert engine.n_pending == 0
+        q = base[0]
+        expect = list(base) + [
+            Trajectory(9100, base[0].points + 0.0001),
+            Trajectory(9101, base[1].points + 0.0001),
+        ]
+        assert engine.search_ids(q, 0.003) == _brute(expect, q, 0.003)
+
+    def test_failed_flush_restores_deltas(self, monkeypatch):
+        from repro.core import engine as engine_mod
+
+        engine, base = self._engine()
+        engine.append_trajectory(9102, base[0].points + 0.0001)
+        pending = engine.n_pending
+
+        real_trie = engine_mod.TrieIndex
+
+        class ExplodingTrie(real_trie):
+            def __init__(self, *a, **kw):
+                raise RuntimeError("simulated mid-flush failure")
+
+        monkeypatch.setattr(engine_mod, "TrieIndex", ExplodingTrie)
+        with pytest.raises(RuntimeError):
+            engine.flush_deltas()
+        monkeypatch.undo()
+        # nothing adopted, nothing lost: pending writes are all still there
+        assert engine.n_pending == pending
+        assert not engine._in_flush
+        q = base[0]
+        expect = list(base) + [Trajectory(9102, base[0].points + 0.0001)]
+        assert engine.search_ids(q, 0.003) == _brute(expect, q, 0.003)
+
+    def test_double_flush_second_is_noop(self):
+        engine, base = self._engine()
+        engine.append_trajectory(9103, [(0.01, 0.01)])
+        assert engine.flush_deltas() > 0
+        assert engine.flush_deltas() == 0
